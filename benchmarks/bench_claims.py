@@ -1,0 +1,39 @@
+"""The scorecard: every headline claim of the paper checked in one run.
+
+Runs the full experiment set and validates each quantitative claim against
+its accepted band (see ``repro.eval.validate``) -- the regression gate for
+the whole reproduction.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.eval.runner import (
+    run_apps_experiment,
+    run_gadget_experiment,
+    run_kasper_experiment,
+    run_lebench_experiment,
+    run_surface_experiment,
+)
+from repro.eval.validate import validate_claims
+
+SCHEMES = ("unsafe", "fence", "dom", "stt", "spot", "perspective")
+
+
+def test_paper_claims_scorecard(benchmark, emit):
+    def score():
+        lebench = run_lebench_experiment(schemes=SCHEMES)
+        apps = run_apps_experiment(schemes=("unsafe", "fence",
+                                            "perspective"))
+        surface = run_surface_experiment()
+        gadgets = run_gadget_experiment()
+        kasper = run_kasper_experiment(n_seeds=16)
+        return validate_claims(lebench=lebench, apps=apps,
+                               surface=surface, gadgets=gadgets,
+                               kasper=kasper)
+
+    card = run_once(benchmark, score)
+    emit("Paper-claims scorecard\n" + card.render())
+    assert len(card.outcomes) == 12
+    assert card.all_ok, "\n" + card.render()

@@ -1,0 +1,53 @@
+"""Section 8.2: passive-attack security analysis.
+
+Paper: ISVs block the victim's speculative execution of hijack gadgets,
+covering Spectre v2, Spectre RSB, Retbleed and BHI -- including the cases
+where deployed mitigations fail (Retbleed through retpoline, BHI through
+eIBRS)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.attacks.harness import run_attack
+
+PASSIVE_ATTACKS = ("spectre-v2-passive", "retbleed-passive",
+                   "spectre-rsb-passive", "bhi-passive")
+
+
+def test_passive_attacks_matrix(benchmark, emit):
+    def matrix():
+        lines = ["Passive attacks (Section 8.2)"]
+        for attack in PASSIVE_ATTACKS:
+            unsafe = run_attack(attack, "unsafe")
+            protected = run_attack(attack, "perspective")
+            lines.append(f"{attack:<22} unsafe: "
+                         f"{'LEAKED' if unsafe.success else 'blocked'} | "
+                         f"perspective: "
+                         f"{'LEAKED' if protected.success else 'blocked'}")
+            assert unsafe.success, attack
+            assert protected.blocked, attack
+        return "\n".join(lines)
+
+    emit(run_once(benchmark, matrix))
+
+
+def test_mitigation_gaps_reproduced(benchmark, emit):
+    def gaps():
+        lines = ["Mitigation gaps (Table 4.1 rows 5 and 7)"]
+        retbleed = run_attack("retbleed-passive", "spot")
+        assert retbleed.success
+        lines.append("retbleed vs retpoline:   LEAKED (row 7)")
+        v2_spot = run_attack("spectre-v2-passive", "spot")
+        assert v2_spot.blocked
+        lines.append("classic v2 vs retpoline: blocked (retpoline works "
+                     "for the case it covers)")
+        bhi = run_attack("bhi-passive", "unsafe")
+        assert bhi.success
+        lines.append("BHI vs eIBRS:            LEAKED (row 5)")
+        control = run_attack("spectre-v2-vs-eibrs", "unsafe")
+        assert control.blocked
+        lines.append("naive v2 vs eIBRS:       blocked (control)")
+        return "\n".join(lines)
+
+    emit(run_once(benchmark, gaps))

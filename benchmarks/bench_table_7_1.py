@@ -1,0 +1,14 @@
+"""Table 7.1: the full-system simulation parameters."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.eval.tables import table_7_1
+
+
+def test_table_7_1_parameters(benchmark, emit):
+    text = run_once(benchmark, table_7_1)
+    emit(text)
+    assert "192 ROB entries" in text
+    assert "ISV Cache" in text and "DSV Cache" in text

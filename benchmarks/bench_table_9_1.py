@@ -1,0 +1,16 @@
+"""Table 9.1: CACTI 22 nm characterization of the ISV and DSV caches."""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.eval.tables import table_9_1
+from repro.hw_model.cacti import table_9_1 as rows
+
+
+def test_table_9_1_hardware(benchmark, emit):
+    emit(run_once(benchmark, table_9_1))
+    dsv, isv = rows()
+    assert dsv.area_mm2 == pytest.approx(0.0024, abs=1e-4)
+    assert isv.dynamic_energy_pj == pytest.approx(1.29, abs=0.01)

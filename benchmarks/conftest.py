@@ -1,0 +1,39 @@
+"""Benchmark harness conventions.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+experiment once inside pytest-benchmark's timer (``rounds=1`` -- these are
+simulations, not microbenchmarks), prints the rendered artifact, and
+writes it to ``benchmarks/out/`` for inspection.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture()
+def emit(artifact_dir, request):
+    """Print an artifact and persist it under benchmarks/out/."""
+
+    def _emit(text: str) -> str:
+        name = request.node.name.replace("[", "_").replace("]", "")
+        (artifact_dir / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+        return text
+
+    return _emit
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

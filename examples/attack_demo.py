@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""The full Chapter 8 attack matrix, narrated.
+
+Replays every transient-execution attack class of the paper's taxonomy --
+active (attacker's own kernel thread) and passive (hijacked victim kernel
+thread) -- against unprotected hardware, the deployed spot mitigations
+(KPTI + retpoline), and Perspective.
+
+Run:  python examples/attack_demo.py
+"""
+
+from repro.attacks.cves import TABLE_4_1
+from repro.attacks.harness import ATTACKS, run_attack
+
+SCHEMES = ("unsafe", "spot", "perspective")
+
+NARRATION = {
+    "spectre-v1-active": "bounds-check mistraining in the attacker's own "
+                         "syscall (Table 4.1 rows 1-3)",
+    "spectre-v2-active": "BTB poisoning of the attacker's own fops "
+                         "dispatch; gadget dereferences a chosen pointer",
+    "spectre-v2-passive": "BTB poisoning of the *victim's* fops dispatch; "
+                          "type confusion on a live register (Fig. 4.2)",
+    "retbleed-passive": "deep-call RSB underflow falls back to the "
+                        "poisoned BTB -- through retpolines (row 7)",
+    "spectre-rsb-passive": "RSB entries planted by the attacker are "
+                           "consumed at the victim's context-switch resume",
+    "bhi-passive": "branch-history collision defeats eIBRS isolation "
+                   "(row 5)",
+    "spectre-v2-vs-eibrs": "control: naive cross-domain injection, which "
+                           "eIBRS does stop",
+    "ebpf-injection": "verifier-approved program with a branch-guarded "
+                      "OOB: an attacker-injected kernel gadget (rows 3-4)",
+}
+
+
+def main() -> None:
+    print(f"{'attack':<22} {'unsafe':>10} {'spot':>10} "
+          f"{'perspective':>12}")
+    print("-" * 60)
+    for attack in ATTACKS:
+        row = []
+        for scheme in SCHEMES:
+            result = run_attack(attack, scheme)
+            row.append("LEAKED" if result.success else "blocked")
+        print(f"{attack:<22} {row[0]:>10} {row[1]:>10} {row[2]:>12}")
+        print(f"   {NARRATION[attack]}")
+    print("-" * 60)
+    print("Reading the matrix:")
+    print(" * everything leaks on unprotected hardware (except the eIBRS")
+    print("   control row -- that is BHI's point of comparison);")
+    print(" * KPTI+retpoline miss Spectre v1, Retbleed, and RSB poisoning")
+    print("   -- the deployed-mitigation gaps of Table 4.1;")
+    print(" * Perspective blocks every variant: DSVs stop the active")
+    print("   attacks at the ownership check, ISVs stop the passive ones")
+    print("   by never letting the hijack gadget transmit.")
+    print()
+    print("CVE registry coverage:")
+    for rec in TABLE_4_1:
+        print(f"  row {rec.row}: {rec.description:<45} -> PoC {rec.poc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Fleet deployment: profile once, ship the ISV, respond to a CVE live.
+
+The operational story of Section 5.4 end to end:
+
+1. a build host profiles the application and serializes its ISV profile;
+2. production hosts validate the profile against their kernel image and
+   install it through the administrator layer;
+3. a vulnerability disclosure lands; the administrator excludes the
+   affected function fleet-wide -- every running context re-hardens
+   immediately, no kernel patch, no restart.
+
+Run:  python examples/fleet_deployment.py
+"""
+
+from repro.analysis.profiles import ISVProfile
+from repro.core.admin import ApplicationPolicy, ISVAdministrator
+from repro.core.framework import Perspective
+from repro.defenses import PerspectivePolicy
+from repro.eval.envs import build_isv_for
+from repro.kernel.image import shared_image
+from repro.kernel.kernel import MiniKernel
+from repro.scanner.kasper import scan
+
+APP = "memcached"
+
+
+def main() -> None:
+    image = shared_image()
+
+    # ---- 1. the build host -------------------------------------------------
+    print("[build host] profiling", APP, "and serializing its ISV...")
+    build_kernel = MiniKernel(image=image)
+    build_proc = build_kernel.create_process(APP)
+    isv = build_isv_for(build_kernel, build_proc, APP, "dynamic")
+    profile = ISVProfile.from_isv(APP, isv, image,
+                                  syscalls=build_kernel.tracer
+                                  .traced_syscalls(build_proc.cgroup.cg_id))
+    wire = profile.to_json()
+    print(f"  profile: {len(isv)} functions, "
+          f"{len(profile.syscalls)} syscalls, "
+          f"{len(wire)} bytes on the wire, "
+          f"image fingerprint {profile.fingerprint}")
+
+    # ---- 2. production hosts ------------------------------------------------
+    print("\n[prod] two hosts install the shipped profile...")
+    hosts = []
+    for host_id in range(2):
+        kernel = MiniKernel(image=image)
+        framework = Perspective(kernel)
+        admin = ISVAdministrator(framework)
+        received = ISVProfile.from_json(wire)
+        admin.register_policy(ApplicationPolicy(
+            APP, received.functions, f"fleet profile {received.fingerprint}"))
+        workers = [kernel.create_process(f"{APP}-{i}") for i in range(3)]
+        for worker in workers:
+            admin.install_policy(worker.cgroup.cg_id, APP,
+                                 reason=f"host{host_id} startup")
+        kernel.pipeline.set_policy(PerspectivePolicy(framework))
+        hosts.append((kernel, admin, workers))
+        print(f"  host{host_id}: {len(workers)} contexts armed, surface "
+              f"report {admin.surface_report()}")
+
+    # ---- 3. disclosure day ----------------------------------------------------
+    print("\n[incident] a gadget is disclosed in a function inside the "
+          "fleet profile; excluding it everywhere...")
+    flagged = sorted(scan(image, scope=profile.functions).functions())
+    target = flagged[0] if flagged else sorted(profile.functions)[0]
+    print(f"  disclosed function: {target!r}")
+    for host_id, (kernel, admin, workers) in enumerate(hosts):
+        updated = admin.exclude_globally({target},
+                                         reason="CVE-2099-0001")
+        print(f"  host{host_id}: {updated} running contexts re-hardened "
+              f"({len(admin.audit_trail)} audit entries)")
+        for worker in workers:
+            assert target not in admin.framework.isv_for(
+                worker.cgroup.cg_id)
+
+    print("\nDone: the fleet is patched against the disclosure while "
+          "every service kept running.")
+
+
+if __name__ == "__main__":
+    main()

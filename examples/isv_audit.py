@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""The ISV lifecycle: generate, compare, audit, harden, and hot-patch.
+
+Walks the paper's Section 5.3-5.4 story for one application (nginx):
+
+1. static ISV from binary analysis + kernel call-graph reachability;
+2. dynamic ISV from kernel tracing (smaller, and it sees indirect calls);
+3. Kasper-style audit bounded to the ISV (the Figure 9.1 speedup);
+4. ISV++ = ISV minus every flagged function (blocks 100% of findings);
+5. runtime shrink: excluding a newly-disclosed vulnerable function with
+   no kernel patch and no downtime.
+
+Run:  python examples/isv_audit.py
+"""
+
+from repro.analysis.binary import APPLICATIONS
+from repro.analysis.static_isv import generate_static_isv
+from repro.core.audit import harden_isv
+from repro.core.framework import Perspective
+from repro.eval.envs import build_isv_for
+from repro.kernel.image import shared_image
+from repro.kernel.kernel import MiniKernel
+from repro.scanner.kasper import discovery_speedup, scan
+
+APP = "nginx"
+
+
+def main() -> None:
+    image = shared_image()
+    kernel = MiniKernel(image=image)
+    proc = kernel.create_process(APP)
+    total = image.total_functions
+    print(f"kernel image: {total} functions, "
+          f"{image.gadget_count()} planted gadgets "
+          f"(x{image.config.gadget_report_scale} = Kasper's 1533)")
+
+    # 1. Static ISV ------------------------------------------------------
+    static_isv = generate_static_isv(image, APPLICATIONS[APP],
+                                     proc.cgroup.cg_id)
+    print(f"\n[1] static ISV ({APP}): {len(static_isv)} functions "
+          f"({100 * (1 - len(static_isv) / total):.1f}% surface reduction)")
+    print("    includes error paths:",
+          "pread64_error_path" in static_isv)
+    print("    sees indirect fops targets:", "ext4_read" in static_isv)
+
+    # 2. Dynamic ISV ------------------------------------------------------
+    dynamic_isv = build_isv_for(kernel, proc, APP, "dynamic")
+    print(f"\n[2] dynamic ISV: {len(dynamic_isv)} functions "
+          f"({100 * (1 - len(dynamic_isv) / total):.1f}% reduction)")
+    print("    includes error paths:",
+          "pread64_error_path" in dynamic_isv)
+    print("    sees indirect fops targets:", "ext4_read" in dynamic_isv)
+
+    # 3. Bounded audit ----------------------------------------------------
+    report = scan(image, scope=dynamic_isv.functions)
+    print(f"\n[3] Kasper-style audit bounded to the ISV: "
+          f"{report.count()} findings in {len(dynamic_isv)} functions "
+          f"(instead of scanning all {total})")
+    speedup = discovery_speedup(image, APP, dynamic_isv.functions,
+                                n_seeds=8)
+    print(f"    fuzzing discovery-rate speedup: {speedup.speedup:.2f}x "
+          "(paper: 1.14-2.23x)")
+
+    # 4. ISV++ ------------------------------------------------------------
+    outcome = harden_isv(dynamic_isv, report.functions())
+    full_report = scan(image)
+    blocked = full_report.blocked_fraction(outcome.hardened.functions)
+    print(f"\n[4] ISV++: removed {outcome.functions_removed} flagged "
+          f"functions; {100 * blocked:.0f}% of ALL kernel gadgets are now "
+          "outside the view (identified ones: 100%)")
+
+    # 5. Runtime patching --------------------------------------------------
+    framework = Perspective(kernel)
+    framework.install_isv(outcome.hardened)
+    print("\n[5] a new CVE drops naming some kernel function inside the "
+          "view; shrink the ISV at runtime:")
+    victim_fn = sorted(outcome.hardened.functions)[10]
+    stricter = framework.shrink_isv(proc.cgroup.cg_id, {victim_fn})
+    print(f"    excluded {victim_fn!r}: view {len(outcome.hardened)} -> "
+          f"{len(stricter)} functions, hardware entries invalidated, "
+          "no reboot, no kernel patch.")
+
+
+if __name__ == "__main__":
+    main()

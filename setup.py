@@ -1,0 +1,6 @@
+"""Setup shim for environments without the ``wheel`` package, where
+pip's PEP 660 editable-install path is unavailable."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""Perspective: a principled framework for pliable and secure speculation
+in operating systems -- full Python reproduction of the ISCA 2024 paper.
+
+The package is organized bottom-up:
+
+* :mod:`repro.cpu` -- out-of-order core model with behavioural transient
+  execution (the gem5 stand-in).
+* :mod:`repro.kernel` -- miniature OS: allocators, processes, syscalls,
+  tracing, seccomp, and the synthetic kernel image.
+* :mod:`repro.core` -- the paper's contribution: DSVs, ISVs, the DSVMT,
+  the hardware view caches, and the Perspective framework tying them to
+  the kernel.
+* :mod:`repro.defenses` -- defense schemes: UNSAFE, FENCE, DOM, STT,
+  Perspective (static/dynamic/++), and spot mitigations (KPTI/retpoline).
+* :mod:`repro.attacks` -- covert channel plus Spectre v1/v2/RSB/BHI/
+  Retbleed PoCs in active and passive form, and the CVE registry.
+* :mod:`repro.analysis` -- static (radare2-like) and dynamic ISV
+  generation.
+* :mod:`repro.scanner` -- the Kasper-like taint-and-fuzz gadget scanner.
+* :mod:`repro.workloads` -- LEBench microbenchmarks and datacenter
+  application models (httpd, nginx, memcached, redis).
+* :mod:`repro.eval` -- experiment runners regenerating every table and
+  figure of the paper's evaluation.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,95 @@
+"""Application binary models and static syscall extraction.
+
+The first step of ISV generation (Section 5.3, Figure 2.1 step 1) is
+identifying the system calls a program may make.  Real Perspective extends
+radare2 to scan the binary; here an :class:`ApplicationBinary` carries the
+ground-truth syscall surface of each evaluated workload, and
+``extract_syscalls`` plays the binary-analysis role (over-approximating,
+as static analysis does, by including linked-in but rarely-used calls).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ApplicationBinary:
+    """A userspace program as seen by the ISV toolchain."""
+
+    name: str
+    #: Syscalls the program actually issues at runtime.
+    used_syscalls: frozenset[str]
+    #: Additional syscalls statically present (libc stubs, error paths);
+    #: static analysis cannot exclude them.
+    linked_syscalls: frozenset[str] = frozenset()
+    #: fops families the program's file descriptors dispatch through.
+    fops_kinds: tuple[str, ...] = ("ext4",)
+
+    def static_syscall_surface(self) -> frozenset[str]:
+        """What binary analysis reports: used plus linked-in syscalls."""
+        return self.used_syscalls | self.linked_syscalls
+
+
+_COMMON_LINKED = frozenset({
+    "brk", "mprotect", "access", "getuid", "fcntl", "dup", "kill",
+    "wait4", "execve",
+})
+
+#: The evaluated application binaries (Chapter 7), with syscall mixes
+#: modeled after each server's actual hot loop.
+APPLICATIONS: dict[str, ApplicationBinary] = {
+    "lebench": ApplicationBinary(
+        name="lebench",
+        used_syscalls=frozenset({
+            "getpid", "sched_yield", "fork", "mmap", "munmap",
+            "page_fault", "read", "write", "select", "poll",
+            "epoll_create", "epoll_ctl", "epoll_wait", "open", "close",
+            "stat", "sendto", "recvfrom", "socket", "futex",
+        }),
+        linked_syscalls=_COMMON_LINKED,
+        fops_kinds=("ext4", "pipe")),
+    "httpd": ApplicationBinary(
+        name="httpd",
+        used_syscalls=frozenset({
+            "accept", "recvfrom", "sendto", "open", "read", "close",
+            "stat", "fstat", "writev", "socket", "bind", "listen",
+            "epoll_wait", "epoll_ctl", "mmap", "munmap", "futex",
+            "getpid",
+        }),
+        linked_syscalls=_COMMON_LINKED | {"pipe", "lseek"},
+        fops_kinds=("ext4", "sock")),
+    "nginx": ApplicationBinary(
+        name="nginx",
+        used_syscalls=frozenset({
+            "accept", "recvfrom", "sendto", "open", "pread64", "close",
+            "stat", "writev", "socket", "bind", "listen", "epoll_create",
+            "epoll_ctl", "epoll_wait", "getpid",
+        }),
+        linked_syscalls=_COMMON_LINKED | {"mmap", "munmap", "lseek"},
+        fops_kinds=("ext4", "sock")),
+    "memcached": ApplicationBinary(
+        name="memcached",
+        used_syscalls=frozenset({
+            "accept", "recvfrom", "sendto", "sendmsg", "recvmsg",
+            "socket", "bind", "listen", "epoll_wait", "epoll_ctl",
+            "futex", "getpid",
+        }),
+        linked_syscalls=_COMMON_LINKED | {"mmap", "read", "write"},
+        fops_kinds=("sock",)),
+    "redis": ApplicationBinary(
+        name="redis",
+        used_syscalls=frozenset({
+            "accept", "recvfrom", "sendto", "sendmsg", "socket",
+            "bind", "listen", "epoll_create", "epoll_ctl", "epoll_wait",
+            "open", "write", "close", "fstat", "getpid",
+        }),
+        linked_syscalls=_COMMON_LINKED | {"mmap", "munmap", "read",
+                                          "nanosleep"},
+        fops_kinds=("ext4", "sock")),
+}
+
+
+def extract_syscalls(binary: ApplicationBinary) -> frozenset[str]:
+    """'Binary analysis': recover the static syscall surface."""
+    return binary.static_syscall_surface()

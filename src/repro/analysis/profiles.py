@@ -1,0 +1,116 @@
+"""ISV profile serialization: build offline, ship, install at startup.
+
+The paper's deployment flow (Section 5.4) builds an ISV offline and
+provides it to the OS when the application starts.  This module is the
+wire format: a JSON document carrying the profile's provenance (source,
+image seed/fingerprint, syscall set) plus the function list, with
+validation on load so a profile built against a different kernel image is
+rejected rather than silently mis-enforced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.core.views import InstructionSpeculationView
+from repro.kernel.image import KernelImage
+
+FORMAT_VERSION = 1
+
+
+def image_fingerprint(image: KernelImage) -> str:
+    """Stable fingerprint of a kernel image's code identity.
+
+    Hashes the ordered function names and body lengths: any change to the
+    image's layout (new functions, resized bodies) changes the fingerprint,
+    which is exactly when an old profile's function set may no longer mean
+    what it meant.
+    """
+    hasher = hashlib.sha256()
+    for func in image.layout.functions():
+        hasher.update(func.name.encode())
+        hasher.update(len(func.body).to_bytes(4, "little"))
+    return hasher.hexdigest()[:16]
+
+
+class ProfileError(Exception):
+    """The profile document is malformed or does not match this kernel."""
+
+
+@dataclass
+class ISVProfile:
+    """A portable, installable ISV description."""
+
+    app: str
+    source: str  # "static" | "dynamic" | "dynamic++" | ...
+    functions: frozenset[str]
+    fingerprint: str
+    syscalls: frozenset[str] = frozenset()
+    notes: str = ""
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_isv(cls, app: str, isv: InstructionSpeculationView,
+                 image: KernelImage,
+                 syscalls: frozenset[str] = frozenset(),
+                 notes: str = "") -> "ISVProfile":
+        return cls(app=app, source=isv.source,
+                   functions=isv.functions,
+                   fingerprint=image_fingerprint(image),
+                   syscalls=syscalls, notes=notes)
+
+    # -- wire format -----------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "format": FORMAT_VERSION,
+            "app": self.app,
+            "source": self.source,
+            "fingerprint": self.fingerprint,
+            "syscalls": sorted(self.syscalls),
+            "functions": sorted(self.functions),
+            "notes": self.notes,
+        }, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ISVProfile":
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ProfileError(f"not valid JSON: {exc}") from exc
+        if not isinstance(doc, dict) or doc.get("format") != FORMAT_VERSION:
+            raise ProfileError("unknown profile format")
+        for key in ("app", "source", "fingerprint", "functions"):
+            if key not in doc:
+                raise ProfileError(f"missing field {key!r}")
+        return cls(app=doc["app"], source=doc["source"],
+                   functions=frozenset(doc["functions"]),
+                   fingerprint=doc["fingerprint"],
+                   syscalls=frozenset(doc.get("syscalls", ())),
+                   notes=doc.get("notes", ""))
+
+    # -- installation -----------------------------------------------------
+
+    def to_isv(self, context_id: int, image: KernelImage,
+               strict: bool = True) -> InstructionSpeculationView:
+        """Materialize the profile against a kernel image.
+
+        ``strict`` requires an exact fingerprint match; non-strict mode
+        (a patched kernel of the same lineage) drops functions the image
+        no longer has -- shrinking is always safe, growing never happens.
+        """
+        if strict and self.fingerprint != image_fingerprint(image):
+            raise ProfileError(
+                "profile was built against a different kernel image "
+                f"(profile {self.fingerprint}, "
+                f"image {image_fingerprint(image)})")
+        known = frozenset(name for name in self.functions
+                          if name in image.layout)
+        if strict and known != self.functions:
+            missing = sorted(self.functions - known)[:3]
+            raise ProfileError(f"profile names unknown functions: {missing}")
+        return InstructionSpeculationView(
+            context_id, known, image.layout, source=self.source)

@@ -1,0 +1,35 @@
+"""Static ISV generation (Section 5.3, Figure 5.3a).
+
+Pipeline: binary analysis extracts the application's syscall surface; the
+kernel call graph (direct edges only) yields every function each syscall
+entry could invoke; the union forms the static ISV.  Indirect-call targets
+are *not* included -- speculative entry into them will be fenced, the
+source of PERSPECTIVE-STATIC's extra overhead on fops-heavy workloads
+(Section 9.1, httpd discussion).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.binary import ApplicationBinary, extract_syscalls
+from repro.analysis.callgraph import reachable_from, static_call_graph
+from repro.core.views import InstructionSpeculationView
+from repro.kernel.image import KernelImage
+
+
+def static_isv_functions(image: KernelImage,
+                         binary: ApplicationBinary) -> frozenset[str]:
+    """Function set of the binary's static ISV."""
+    syscalls = extract_syscalls(binary)
+    entries = frozenset(
+        image.syscalls[name].entry for name in syscalls
+        if name in image.syscalls)
+    graph = static_call_graph(image)
+    return reachable_from(graph, entries)
+
+
+def generate_static_isv(image: KernelImage, binary: ApplicationBinary,
+                        context_id: int) -> InstructionSpeculationView:
+    """Build the per-application static ISV for one execution context."""
+    return InstructionSpeculationView(
+        context_id, static_isv_functions(image, binary), image.layout,
+        source="static")

@@ -1,0 +1,55 @@
+"""Common attack harness types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kernel.kernel import MiniKernel
+from repro.kernel.process import Process
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one end-to-end PoC run."""
+
+    name: str
+    scheme: str
+    secret: bytes
+    leaked: bytes
+    #: Bytes the attacker failed to recover at all (no unique hit line).
+    unrecovered: int = 0
+    notes: str = ""
+
+    @property
+    def success(self) -> bool:
+        """The attack succeeded iff every secret byte was recovered."""
+        return len(self.leaked) == len(self.secret) \
+            and self.leaked == self.secret
+
+    @property
+    def blocked(self) -> bool:
+        return not self.success
+
+
+@dataclass
+class AttackSetup:
+    """Attacker and victim processes sharing a kernel (and its core)."""
+
+    kernel: MiniKernel
+    attacker: Process
+    victim: Process
+    secret: bytes = b""
+    secret_va: int = 0
+    extras: dict = field(default_factory=dict)
+
+
+def make_setup(kernel: MiniKernel | None = None,
+               secret: bytes = b"K3Y!") -> AttackSetup:
+    """Boot a kernel (if needed) with an attacker and a victim process,
+    planting ``secret`` in the victim's kernel heap."""
+    kernel = kernel or MiniKernel()
+    attacker = kernel.create_process("attacker")
+    victim = kernel.create_process("victim")
+    secret_va = kernel.plant_secret(victim, secret)
+    return AttackSetup(kernel=kernel, attacker=attacker, victim=victim,
+                       secret=secret, secret_va=secret_va)

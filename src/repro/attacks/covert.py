@@ -1,0 +1,65 @@
+"""Flush+reload covert channel over the shared cache hierarchy.
+
+The transmitter side is a kernel transient-execution gadget loading
+``probe_array[secret_byte * 64]``; the receiver flushes the 256 probe lines
+beforehand and times a reload of each afterwards.  A line that comes back
+at L1/L2 latency was touched transiently -- its index is the secret byte.
+
+Because generated kernel functions may themselves contain (benign-input)
+gadget patterns that deterministically touch probe lines, recovery is
+*differential*: a control run with a known byte identifies the constant
+pollution set, and the secret is the line unique to the measurement run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.image import PROBE_ARRAY_OFF
+from repro.kernel.kernel import MiniKernel
+from repro.kernel.process import Process
+
+#: Reload latency at or below this is a hit (L2 round trip + margin).
+HIT_THRESHOLD = 12
+PROBE_LINES = 256
+LINE_BYTES = 64
+
+
+@dataclass
+class ProbeResult:
+    """One reload sweep over the probe array."""
+
+    latencies: list[int]
+
+    def hit_lines(self, threshold: int = HIT_THRESHOLD) -> frozenset[int]:
+        return frozenset(i for i, lat in enumerate(self.latencies)
+                         if lat <= threshold)
+
+
+class CovertChannel:
+    """Receiver handle on one context's probe array."""
+
+    def __init__(self, kernel: MiniKernel, owner: Process) -> None:
+        self.kernel = kernel
+        self.owner = owner
+        base_va = owner.heap_va + PROBE_ARRAY_OFF
+        self._line_pas = [owner.aspace.translate(base_va + i * LINE_BYTES)
+                          for i in range(PROBE_LINES)]
+
+    def flush(self) -> None:
+        """clflush every probe line (the flush half of flush+reload)."""
+        for pa in self._line_pas:
+            self.kernel.hierarchy.flush_data(pa)
+
+    def reload(self) -> ProbeResult:
+        """Time a non-perturbing reload of every probe line."""
+        return ProbeResult([self.kernel.hierarchy.probe_latency(pa)
+                            for pa in self._line_pas])
+
+    def recover_differential(self, measure_hits: frozenset[int],
+                             control_hits: frozenset[int]) -> int | None:
+        """The byte touched in the measurement but not the control run."""
+        unique = measure_hits - control_hits
+        if len(unique) == 1:
+            return next(iter(unique))
+        return None

@@ -1,0 +1,105 @@
+"""The CVE taxonomy of Table 4.1: speculative-execution vulnerabilities
+targeting the Linux kernel, classified by attack primitive and by the
+mitigation gap that let them through.
+
+Each record carries the table's columns plus the name of the PoC class in
+this package that exercises the same *primitive* against the synthetic
+kernel, so the security evaluation (Chapter 8) can replay every row.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Primitive(enum.Enum):
+    """Attack primitive (Table 4.1, column 1)."""
+
+    DATA_ACCESS = "unauthorized speculative data access (Spectre v1)"
+    CONTROL_FLOW = "speculative control-flow hijacking (Spectre v2/RSB+)"
+
+
+class MitigationGap(enum.Enum):
+    """Why existing mitigations failed (Table 4.1, column 2)."""
+
+    NONE = "n/a"
+    HARDWARE = "insufficient hardware mitigation"
+    SOFTWARE = "insufficient software mitigation"
+    MISUSE = "misused mitigation"
+
+
+@dataclass(frozen=True)
+class CVERecord:
+    """One row of Table 4.1."""
+
+    row: int
+    primitive: Primitive
+    gap: MitigationGap
+    identifiers: tuple[str, ...]
+    description: str
+    origin: str
+    #: Name of the PoC class replaying this primitive (see POC_CLASSES).
+    poc: str
+
+
+TABLE_4_1: tuple[CVERecord, ...] = (
+    CVERecord(
+        1, Primitive.DATA_ACCESS, MitigationGap.NONE,
+        ("CVE-2022-27223",),
+        "Array index is not validated", "Xilinx USB driver",
+        poc="spectre-v1-active"),
+    CVERecord(
+        2, Primitive.DATA_ACCESS, MitigationGap.MISUSE,
+        ("CVE-2019-15902",),
+        "Reintroduced Spectre vulnerabilities in backporting", "ptrace",
+        poc="spectre-v1-active"),
+    CVERecord(
+        3, Primitive.DATA_ACCESS, MitigationGap.NONE,
+        ("CVE-2021-31829", "CVE-2019-7308", "CVE-2020-27170",
+         "CVE-2020-27171", "CVE-2021-29155"),
+        "Out-of-bounds speculation on pointer arithmetic", "eBPF verifier",
+        poc="ebpf-injection"),
+    CVERecord(
+        4, Primitive.DATA_ACCESS, MitigationGap.NONE,
+        ("CVE-2021-33624",),
+        "Speculative type confusion", "eBPF verifier",
+        poc="spectre-v2-active"),
+    CVERecord(
+        5, Primitive.CONTROL_FLOW, MitigationGap.HARDWARE,
+        ("CVE-2022-0001", "CVE-2022-0002", "CVE-2022-23960"),
+        "Branch history injection", "Indirect calls and jumps",
+        poc="bhi-passive"),
+    CVERecord(
+        6, Primitive.CONTROL_FLOW, MitigationGap.SOFTWARE,
+        ("CVE-2021-26401",),
+        "LFENCE/JMP is insufficient on AMD", "Indirect calls and jumps",
+        poc="spectre-v2-passive"),
+    CVERecord(
+        7, Primitive.CONTROL_FLOW, MitigationGap.SOFTWARE,
+        ("CVE-2022-29900", "CVE-2022-29901"),
+        "Retbleed", "Retpoline",
+        poc="retbleed-passive"),
+    CVERecord(
+        8, Primitive.CONTROL_FLOW, MitigationGap.MISUSE,
+        ("CVE-2022-2196",),
+        "Missing retpolines or IBPB", "KVM",
+        poc="spectre-v2-passive"),
+    CVERecord(
+        9, Primitive.CONTROL_FLOW, MitigationGap.MISUSE,
+        ("CVE-2019-18660", "CVE-2020-10767", "CVE-2022-23824",
+         "CVE-2023-1998"),
+        "Improper use of hardware mitigations", "Indirect calls and jumps",
+        poc="spectre-rsb-passive"),
+)
+
+
+def records_by_primitive(primitive: Primitive) -> list[CVERecord]:
+    return [rec for rec in TABLE_4_1 if rec.primitive is primitive]
+
+
+def record_for_row(row: int) -> CVERecord:
+    for rec in TABLE_4_1:
+        if rec.row == row:
+            return rec
+    raise KeyError(f"no Table 4.1 row {row}")

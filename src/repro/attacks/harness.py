@@ -1,0 +1,139 @@
+"""Attack x defense matrix runner (the engine behind Chapter 8).
+
+``run_attack(attack, scheme)`` boots a fresh kernel (sharing the cached
+image), installs the requested defense policy, plants a secret, runs the
+PoC end to end, and reports whether the secret leaked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks.base import AttackResult, AttackSetup, make_setup
+from repro.attacks.bhi import BHIPassiveAttack, EIBRSBaselineCheck
+from repro.attacks.ebpf import EBPFInjectionOnVulnerableConfig
+from repro.attacks.retbleed import RetbleedPassiveAttack
+from repro.attacks.spectre_rsb import SpectreRSBPassiveAttack
+from repro.attacks.spectre_v1 import SpectreV1ActiveAttack
+from repro.attacks.spectre_v2 import (
+    SpectreV2ActiveAttack,
+    SpectreV2PassiveAttack,
+)
+from repro.core.framework import Perspective
+from repro.core.views import InstructionSpeculationView
+from repro.cpu.pipeline import SpeculationPolicy
+from repro.defenses import (
+    DelayOnMissPolicy,
+    FencePolicy,
+    PerspectivePolicy,
+    STTPolicy,
+    SpotMitigationPolicy,
+    UnsafePolicy,
+)
+from repro.kernel.image import KernelImage, shared_image
+from repro.kernel.kernel import KernelConfig, MiniKernel
+
+#: PoC classes by the name used in the CVE registry (Table 4.1).
+ATTACKS = {
+    "spectre-v1-active": SpectreV1ActiveAttack,
+    "spectre-v2-active": SpectreV2ActiveAttack,
+    "spectre-v2-passive": SpectreV2PassiveAttack,
+    "retbleed-passive": RetbleedPassiveAttack,
+    "spectre-rsb-passive": SpectreRSBPassiveAttack,
+    "bhi-passive": BHIPassiveAttack,
+    "spectre-v2-vs-eibrs": EIBRSBaselineCheck,
+    "ebpf-injection": EBPFInjectionOnVulnerableConfig,
+}
+
+#: Attacks that require an eIBRS-configured kernel.
+_NEEDS_EIBRS = {"bhi-passive", "spectre-v2-vs-eibrs"}
+
+SCHEMES = ("unsafe", "fence", "dom", "stt", "spot", "perspective")
+
+
+def non_driver_isv_functions(image: KernelImage) -> frozenset[str]:
+    """A permissive syscall-surface ISV: everything except the driver tail.
+
+    Close to what static analysis produces union'd over all applications;
+    used when a PoC run needs *some* installed view without running the
+    full analysis pipeline.  Driver-tail gadgets (including the hijack
+    targets) are outside it.
+    """
+    return frozenset(name for name, info in image.info.items()
+                     if info.role != "driver")
+
+
+def build_perspective(kernel: MiniKernel,
+                      isv_functions: frozenset[str] | None = None,
+                      context_ids: list[int] | None = None,
+                      ) -> tuple[Perspective, PerspectivePolicy]:
+    """Wire a Perspective framework + policy onto a kernel, installing the
+    given ISV function set for each context (default: all processes)."""
+    framework = Perspective(kernel)
+    if isv_functions is None:
+        isv_functions = non_driver_isv_functions(kernel.image)
+    if context_ids is None:
+        context_ids = sorted({proc.cgroup.cg_id
+                              for proc in kernel.processes.values()})
+    for ctx in context_ids:
+        framework.install_isv(InstructionSpeculationView(
+            ctx, isv_functions, kernel.layout, source="harness"))
+    policy = PerspectivePolicy(framework)
+    kernel.pipeline.set_policy(policy)
+    return framework, policy
+
+
+def build_policy(scheme: str, kernel: MiniKernel) -> SpeculationPolicy:
+    """Instantiate (and install) the policy for a scheme name."""
+    if scheme == "unsafe":
+        policy: SpeculationPolicy = UnsafePolicy()
+    elif scheme == "fence":
+        policy = FencePolicy()
+    elif scheme == "dom":
+        policy = DelayOnMissPolicy()
+    elif scheme == "stt":
+        policy = STTPolicy()
+    elif scheme == "spot":
+        policy = SpotMitigationPolicy(kpti=True, retpoline=True)
+    elif scheme == "spot-ibpb":
+        policy = SpotMitigationPolicy(kpti=True, retpoline=True, ibpb=True)
+    elif scheme == "perspective":
+        _, policy = build_perspective(kernel)
+        return policy
+    else:
+        raise ValueError(f"unknown scheme {scheme!r}")
+    kernel.pipeline.set_policy(policy)
+    return policy
+
+
+@dataclass
+class MatrixCell:
+    attack: str
+    scheme: str
+    result: AttackResult
+
+
+def run_attack(attack_name: str, scheme: str = "unsafe",
+               secret: bytes = b"K3Y!") -> AttackResult:
+    """Boot, arm, attack; returns the PoC outcome under ``scheme``."""
+    attack_cls = ATTACKS[attack_name]
+    config = KernelConfig(
+        btb_hardware_isolation=attack_name in _NEEDS_EIBRS)
+    kernel = MiniKernel(image=shared_image(), config=config)
+    setup = make_setup(kernel, secret=secret)
+    build_policy(scheme, kernel)
+    attack = attack_cls(setup)
+    return attack.run(scheme_name=scheme)
+
+
+def run_matrix(attacks: tuple[str, ...] = tuple(ATTACKS),
+               schemes: tuple[str, ...] = SCHEMES,
+               secret: bytes = b"K3Y!") -> list[MatrixCell]:
+    """The full Chapter 8 security matrix."""
+    cells = []
+    for attack_name in attacks:
+        for scheme in schemes:
+            cells.append(MatrixCell(
+                attack_name, scheme,
+                run_attack(attack_name, scheme, secret=secret)))
+    return cells

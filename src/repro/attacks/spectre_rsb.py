@@ -1,0 +1,102 @@
+"""Spectre RSB (ret2spec-style): poisoned return-stack consumption.
+
+The consumption point is a context switch: when the victim thread is
+switched back in, its first instruction is the RET out of
+``finish_task_switch`` -- but the RSB now holds entries planted by the
+attacker, who ran on this core in the meantime and executed calls whose
+return sites collide with the gadget address.  The victim's resume RET
+mispredicts into the gadget while its restored registers (including the
+secret reference in ``r5``) are live.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackResult, AttackSetup
+from repro.attacks.covert import CovertChannel
+from repro.cpu.pipeline import ExecutionContext
+from repro.kernel.image import (
+    REG_GLOBAL,
+    REG_HEAP,
+    REG_KSTACK,
+    REG_TASK,
+    REG_USERBUF,
+    SECRET_OFF,
+)
+from repro.kernel.layout import USER_BASE
+
+
+class SpectreRSBPassiveAttack:
+    """RSB poisoning consumed at the victim's context-switch resume."""
+
+    name = "spectre-rsb-passive"
+
+    def __init__(self, setup: AttackSetup) -> None:
+        self.setup = setup
+        self.kernel = setup.kernel
+        self.channel = CovertChannel(self.kernel, setup.victim)
+        image = self.kernel.image
+        self.gadget_va = image.layout["xilinx_usb_poc_gadget"].base_va
+        self.resume_func = image.layout["finish_task_switch"]
+        self.switched_from = image.layout["sys_nanosleep"]
+
+    def _poison_rsb(self) -> None:
+        """The attacker's colliding call sites fill the RSB with the
+        gadget address."""
+        rsb = self.kernel.branch_unit.rsb
+        rsb.clear()
+        for _ in range(4):
+            rsb.push(self.gadget_va)
+
+    def _victim_resume(self, byte_index: int) -> None:
+        """Run the victim's switch-in path: RET out of finish_task_switch
+        back into its suspended nanosleep syscall."""
+        victim = self.setup.victim
+        regs = {
+            "r5": victim.heap_va + SECRET_OFF + byte_index,  # live secret ref
+            REG_HEAP: victim.heap_va,
+            REG_TASK: victim.heap_va,
+            REG_KSTACK: victim.kernel_stack_va,
+            REG_GLOBAL: self.kernel.global_page_va,
+            REG_USERBUF: USER_BASE,
+            "r11": 1, "r0": 0, "r1": 0, "r2": 0, "r4": 0, "r8": victim.heap_va,
+        }
+        context = ExecutionContext(
+            context_id=victim.cgroup.cg_id, domain="kernel",
+            address_space=victim.aspace, initial_regs=regs)
+        # Resume at the RET (op index 1) of finish_task_switch, returning
+        # into the tail of the suspended syscall entry.
+        resume_at = len(self.switched_from.body) - 1  # the final KRET
+        self.kernel.pipeline.run(
+            self.resume_func, context, start_index=1,
+            initial_call_stack=[(self.switched_from, resume_at)])
+
+    def leak_byte(self, byte_index: int) -> int | None:
+        self.kernel.branch_unit.rsb.clear()
+        self.channel.flush()
+        self._victim_resume(byte_index)
+        control = self.channel.reload().hit_lines()
+        self._poison_rsb()
+        self.channel.flush()
+        self._victim_resume(byte_index)
+        measured = self.channel.reload().hit_lines()
+        return self.channel.recover_differential(measured, control)
+
+    def run(self, scheme_name: str = "unsafe",
+            retries: int = 3) -> AttackResult:
+        leaked = bytearray()
+        unrecovered = 0
+        for i in range(len(self.setup.secret)):
+            byte = None
+            for _ in range(retries):
+                # First touches can die to cold conservative blocks in the
+                # defense's view caches rather than enforcement; retry.
+                byte = self.leak_byte(i)
+                if byte is not None:
+                    break
+            if byte is None:
+                unrecovered += 1
+            else:
+                leaked.append(byte)
+        return AttackResult(name=self.name, scheme=scheme_name,
+                            secret=self.setup.secret, leaked=bytes(leaked),
+                            unrecovered=unrecovered)

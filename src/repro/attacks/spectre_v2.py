@@ -1,0 +1,157 @@
+"""Spectre v2 (branch target injection) attacks, passive and active.
+
+**Passive** (Figure 4.2): the victim's ``sys_recvfrom`` path leaves a
+reference to its own secret in ``r5`` ("Function 1"), then performs an
+indirect call through the file-operations pointer table.  The attacker
+poisons the BTB entry for that indirect-call site so the victim's kernel
+thread transiently executes a driver gadget ("Function 2") that
+dereferences ``r5`` -- a speculative type confusion -- and transmits the
+byte through the victim's probe array, which the attacker monitors via the
+shared cache.
+
+**Active**: the attacker hijacks *its own* indirect call into a gadget
+dereferencing the first syscall argument, with ``r0`` set to any kernel VA.
+
+Perspective blocks the passive form with ISVs (the gadget function is in
+no view) and the active form with DSVs (the access violates ownership).
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackResult, AttackSetup
+from repro.attacks.covert import CovertChannel
+from repro.cpu.isa import Op
+
+
+def find_op_va(func, op_kind: Op, occurrence: int = 0) -> int:
+    """VA of the n-th op of a given kind in a function."""
+    seen = 0
+    for idx, op in enumerate(func.body):
+        if op.op is op_kind:
+            if seen == occurrence:
+                return func.va_of(idx)
+            seen += 1
+    raise ValueError(f"{func.name} has no {op_kind} #{occurrence}")
+
+
+class SpectreV2PassiveAttack:
+    """BTB poisoning against the victim's fops dispatch site."""
+
+    name = "spectre-v2-passive"
+
+    def __init__(self, setup: AttackSetup,
+                 history_collision: bool = False) -> None:
+        self.setup = setup
+        self.kernel = setup.kernel
+        self.history_collision = history_collision
+        # The transmit runs in the *victim's* context, so it lands in the
+        # victim's probe array; the attacker observes it through the
+        # shared cache hierarchy.
+        self.channel = CovertChannel(self.kernel, setup.victim)
+        image = self.kernel.image
+        entry = image.layout["sys_recvfrom"]
+        self.hijack_pc = find_op_va(entry, Op.ICALL)
+        self.gadget_va = image.layout["xilinx_usb_poc_gadget"].base_va
+        # The victim needs an open socket for recvfrom.
+        self.victim_fd = self.kernel.syscall(
+            setup.victim, "socket", args=(0,)).retval
+
+    def _poison(self) -> None:
+        # The injection happens while the attacker's own thread runs
+        # (mistraining via colliding branches), so the core's last context
+        # is the attacker's -- an IBPB-on-switch deployment flushes the
+        # entry when the victim comes back in.
+        self.kernel.syscall(self.setup.attacker, "getpid")
+        self.kernel.branch_unit.btb.poison(
+            self.hijack_pc, self.gadget_va,
+            domain="user:attacker" if self.history_collision else "kernel",
+            history_collision=self.history_collision)
+
+    def _victim_call(self, byte_index: int) -> None:
+        self.kernel.syscall(self.setup.victim, "recvfrom",
+                            args=(self.victim_fd, 0, byte_index))
+
+    def leak_byte(self, byte_index: int) -> int | None:
+        # Control run (no poisoning): captures the victim's benign cache
+        # footprint on the probe lines.
+        self.channel.flush()
+        self._victim_call(byte_index)
+        control = self.channel.reload().hit_lines()
+        # Measurement run: poisoned BTB.
+        self._poison()
+        self.channel.flush()
+        self._victim_call(byte_index)
+        measured = self.channel.reload().hit_lines()
+        return self.channel.recover_differential(measured, control)
+
+    def run(self, scheme_name: str = "unsafe",
+            retries: int = 3) -> AttackResult:
+        leaked = bytearray()
+        unrecovered = 0
+        for i in range(len(self.setup.secret)):
+            byte = None
+            for _ in range(retries):
+                # First touches can die to cold conservative blocks in the
+                # defense's view caches rather than enforcement; retry.
+                byte = self.leak_byte(i)
+                if byte is not None:
+                    break
+            if byte is None:
+                unrecovered += 1
+            else:
+                leaked.append(byte)
+        return AttackResult(name=self.name, scheme=scheme_name,
+                            secret=self.setup.secret, leaked=bytes(leaked),
+                            unrecovered=unrecovered)
+
+
+class SpectreV2ActiveAttack:
+    """BTB poisoning of the attacker's own dispatch site: the hijacked
+    gadget dereferences the attacker-chosen syscall argument."""
+
+    name = "spectre-v2-active"
+
+    def __init__(self, setup: AttackSetup) -> None:
+        self.setup = setup
+        self.kernel = setup.kernel
+        self.channel = CovertChannel(self.kernel, setup.attacker)
+        image = self.kernel.image
+        entry = image.layout["sys_read"]
+        self.hijack_pc = find_op_va(entry, Op.ICALL)
+        self.gadget_va = image.layout["active_v2_deref_gadget"].base_va
+        self.attacker_fd = self.kernel.syscall(
+            setup.attacker, "open", args=(0,)).retval
+
+    def _probe_round(self, pointer: int) -> frozenset[int]:
+        self.kernel.branch_unit.btb.poison(
+            self.hijack_pc, self.gadget_va, domain="kernel")
+        self.channel.flush()
+        self.kernel.syscall(self.setup.attacker, "read", args=(pointer,))
+        return self.channel.reload().hit_lines()
+
+    def leak_byte(self, target_va: int) -> int | None:
+        measured = self._probe_round(target_va)
+        # Control: point the gadget at an attacker-known byte.
+        control_va = self.setup.attacker.heap_va + 0x300
+        pa = self.setup.attacker.aspace.translate(control_va)
+        self.kernel.memory.store(pa, 0x5C)
+        control = self._probe_round(control_va)
+        return self.channel.recover_differential(measured, control)
+
+    def run(self, scheme_name: str = "unsafe",
+            retries: int = 3) -> AttackResult:
+        leaked = bytearray()
+        unrecovered = 0
+        for i in range(len(self.setup.secret)):
+            byte = None
+            for _ in range(retries):
+                byte = self.leak_byte(self.setup.secret_va + i)
+                if byte is not None:
+                    break
+            if byte is None:
+                unrecovered += 1
+            else:
+                leaked.append(byte)
+        return AttackResult(name=self.name, scheme=scheme_name,
+                            secret=self.setup.secret, leaked=bytes(leaked),
+                            unrecovered=unrecovered)

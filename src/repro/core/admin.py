@@ -1,0 +1,126 @@
+"""System-administrator ISV management (Section 5.4).
+
+The paper's discussion highlights that the ISV interface "enables system
+administrators to install ISVs that could be applied to all or selected
+applications" and to respond to new vulnerability disclosures "without
+kernel patches and potentially expensive server downtime".  This module is
+that operational layer:
+
+* a **global exclusion list** of kernel functions no context may trust
+  speculatively (the CVE-response knob) -- applied to every installed view
+  and re-applied immediately to all running contexts when extended;
+* **application policies** mapping workload names to baseline function
+  sets, so fleets can ship one vetted view per application class;
+* an **audit trail** recording every view change with its reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.framework import Perspective
+from repro.core.views import InstructionSpeculationView
+
+
+@dataclass(frozen=True)
+class ISVChange:
+    """One entry of the administrator's audit trail."""
+
+    context_id: int
+    action: str  # "install" | "exclude" | "shrink"
+    functions_affected: int
+    reason: str
+
+
+@dataclass
+class ApplicationPolicy:
+    """A fleet-wide baseline view for one application class."""
+
+    name: str
+    functions: frozenset[str]
+    description: str = ""
+
+
+class ISVAdministrator:
+    """Operational front end over a Perspective framework."""
+
+    def __init__(self, framework: Perspective) -> None:
+        self.framework = framework
+        self._global_exclusions: set[str] = set()
+        self._policies: dict[str, ApplicationPolicy] = {}
+        self.audit_trail: list[ISVChange] = []
+
+    # -- application policies -------------------------------------------
+
+    def register_policy(self, policy: ApplicationPolicy) -> None:
+        """Register (or replace) a fleet baseline for an application."""
+        self._policies[policy.name] = policy
+
+    def policy(self, name: str) -> ApplicationPolicy:
+        return self._policies[name]
+
+    def policies(self) -> list[str]:
+        return sorted(self._policies)
+
+    # -- installation -----------------------------------------------------
+
+    def install(self, context_id: int, functions: frozenset[str],
+                reason: str = "startup",
+                source: str = "admin") -> InstructionSpeculationView:
+        """Install a view for a context, minus the global exclusions."""
+        effective = frozenset(functions) - self._global_exclusions
+        isv = InstructionSpeculationView(
+            context_id, effective, self.framework.kernel.image.layout,
+            source=source)
+        self.framework.install_isv(isv)
+        self.audit_trail.append(ISVChange(
+            context_id=context_id, action="install",
+            functions_affected=len(effective), reason=reason))
+        return isv
+
+    def install_policy(self, context_id: int, policy_name: str,
+                       reason: str = "fleet policy",
+                       ) -> InstructionSpeculationView:
+        """Install a registered application policy for a context."""
+        policy = self._policies[policy_name]
+        return self.install(context_id, policy.functions, reason=reason,
+                            source=f"admin:{policy_name}")
+
+    # -- incident response ---------------------------------------------------
+
+    def exclude_globally(self, functions: frozenset[str] | set[str],
+                         reason: str) -> int:
+        """Ban functions from every current and future view.
+
+        Running contexts are re-hardened immediately: their installed
+        views shrink in place (hardware entries invalidated by the
+        framework), with no kernel patch and no restart.  Returns the
+        number of contexts updated.
+        """
+        new = set(functions) - self._global_exclusions
+        self._global_exclusions.update(new)
+        updated = 0
+        for ctx in self.framework.contexts_with_isvs():
+            isv = self.framework.isv_for(ctx)
+            overlap = isv.functions & new
+            if overlap:
+                self.framework.shrink_isv(ctx, overlap)
+                updated += 1
+            self.audit_trail.append(ISVChange(
+                context_id=ctx, action="exclude",
+                functions_affected=len(overlap), reason=reason))
+        return updated
+
+    @property
+    def global_exclusions(self) -> frozenset[str]:
+        return frozenset(self._global_exclusions)
+
+    # -- queries ---------------------------------------------------------------
+
+    def contexts(self) -> list[int]:
+        return self.framework.contexts_with_isvs()
+
+    def surface_report(self) -> dict[int, int]:
+        """Installed view size per context (monitoring hook)."""
+        return {ctx: len(self.framework.isv_for(ctx))
+                for ctx in self.framework.contexts_with_isvs()}

@@ -1,0 +1,38 @@
+"""Enhancing ISVs with auditing results (Sections 5.4, 6.1).
+
+After the gadget scanner (:mod:`repro.scanner`) audits the functions inside
+an ISV, every function it flags is excluded, producing the stricter *ISV++*
+that blocks all identified gadgets (Table 8.2's 100% column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.views import InstructionSpeculationView
+
+
+@dataclass
+class AuditOutcome:
+    """Result of hardening one ISV with scanner findings."""
+
+    original: InstructionSpeculationView
+    hardened: InstructionSpeculationView
+    flagged_inside: frozenset[str]
+
+    @property
+    def functions_removed(self) -> int:
+        return len(self.original) - len(self.hardened)
+
+
+def harden_isv(isv: InstructionSpeculationView,
+               flagged_functions: frozenset[str] | set[str]) -> AuditOutcome:
+    """Exclude scanner-flagged functions from an ISV, yielding ISV++.
+
+    Only functions actually inside the ISV matter: everything outside is
+    already blocked from speculative execution.
+    """
+    flagged_inside = frozenset(flagged_functions) & isv.functions
+    hardened = isv.shrink(flagged_inside)
+    return AuditOutcome(original=isv, hardened=hardened,
+                        flagged_inside=flagged_inside)

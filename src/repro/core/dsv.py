@@ -1,0 +1,97 @@
+"""DSV ownership tracking driven by allocator events (Sections 5.2, 6.1).
+
+The :class:`DSVRegistry` is the OS-side source of truth: the buddy
+allocator's ownership hooks report every (first_frame, count, owner) event,
+and the registry maintains the frame -> owning-context map plus the
+per-context :class:`DataSpeculationView` objects and DSVMT trees the
+hardware consults.
+
+Frames that never flow through the hooked allocators (boot-reserved global
+data, per-cpu areas) are *unknown*: they belong to no DSV, and Perspective
+conservatively blocks speculation on them (Section 6.1, "Resolving Unknown
+Allocations").
+"""
+
+from __future__ import annotations
+
+from repro.core.dsvmt import DSVMT
+from repro.core.views import DataSpeculationView
+from repro.kernel.buddy import BuddyAllocator
+
+
+class DSVRegistry:
+    """Frame-ownership registry feeding the per-context DSVs and DSVMTs."""
+
+    def __init__(self) -> None:
+        self._frame_owner: dict[int, int] = {}
+        self._views: dict[int, DataSpeculationView] = {}
+        self._dsvmts: dict[int, DSVMT] = {}
+        self.assign_events = 0
+        self.release_events = 0
+
+    # -- allocator hooks -------------------------------------------------
+
+    def on_alloc(self, first_frame: int, count: int,
+                 owner: int | None) -> None:
+        if owner is None:
+            return  # unowned allocation: stays outside every DSV
+        view = self.view_for(owner)
+        dsvmt = self.dsvmt_for(owner)
+        for frame in range(first_frame, first_frame + count):
+            self._frame_owner[frame] = owner
+            view.frames.add(frame)
+            dsvmt.set_page(frame, True)
+        self.assign_events += 1
+
+    def on_free(self, first_frame: int, count: int,
+                owner: int | None) -> None:
+        if owner is None:
+            return
+        view = self._views.get(owner)
+        dsvmt = self._dsvmts.get(owner)
+        for frame in range(first_frame, first_frame + count):
+            self._frame_owner.pop(frame, None)
+            if view is not None:
+                view.frames.discard(frame)
+            if dsvmt is not None:
+                dsvmt.set_page(frame, False)
+        self.release_events += 1
+
+    def attach(self, buddy: BuddyAllocator) -> None:
+        """Hook the buddy allocator's ownership events."""
+        buddy.on_alloc = self.on_alloc
+        buddy.on_free = self.on_free
+
+    # -- queries -----------------------------------------------------------
+
+    def view_for(self, context_id: int) -> DataSpeculationView:
+        view = self._views.get(context_id)
+        if view is None:
+            view = DataSpeculationView(context_id)
+            self._views[context_id] = view
+        return view
+
+    def dsvmt_for(self, context_id: int) -> DSVMT:
+        dsvmt = self._dsvmts.get(context_id)
+        if dsvmt is None:
+            dsvmt = DSVMT(context_id)
+            self._dsvmts[context_id] = dsvmt
+        return dsvmt
+
+    def owner_of(self, frame: int) -> int | None:
+        """Owning context of a frame, or None for unknown memory."""
+        return self._frame_owner.get(frame)
+
+    def frame_in_view(self, frame: int, context_id: int) -> bool:
+        """The DSV check: does ``context_id`` own this frame?
+
+        Unknown frames (no owner) are outside every view, so speculation on
+        them is conservatively blocked.
+        """
+        return self._frame_owner.get(frame) == context_id
+
+    def contexts(self) -> list[int]:
+        return list(self._views)
+
+    def owned_frames(self) -> int:
+        return len(self._frame_owner)

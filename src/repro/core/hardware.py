@@ -1,0 +1,134 @@
+"""Perspective's hardware structures: the ISV and DSV caches (Section 6.2).
+
+Both are 128-entry, 32-set, 4-way set-associative caches located near the
+pipeline (Table 7.1).  Entries are tagged with the context id (the ASID
+analogue), so context switches need no flush.  On a miss the hardware
+conservatively blocks speculation for the querying instruction and refills
+the entry; thanks to the small kernel working set both caches hit ~99% of
+the time (Section 9.2).
+
+* The **ISV cache** is indexed by instruction VA; an entry caches the ISV
+  bits for one aligned block of instructions (one 64-byte line of the ISV
+  bitmap page covers 512 instruction slots).
+* The **DSV cache** is indexed by data page frame; an entry caches the
+  DSVMT leaf bit for one 4 KB page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.isa import OP_SIZE
+
+#: Instructions covered by one ISV cache entry (64 B of bitmap = 512 bits).
+ISV_BLOCK_INSTRUCTIONS = 512
+ISV_BLOCK_BYTES = ISV_BLOCK_INSTRUCTIONS * OP_SIZE
+
+#: Cycles to refill a view-cache entry (bitmap line fetch via the TLB path).
+REFILL_LATENCY = 20.0
+
+
+@dataclass
+class ViewCacheStats:
+    hits: int = 0
+    misses: int = 0
+    fills: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.fills = self.evictions = 0
+
+
+class ViewCache:
+    """ASID-tagged set-associative cache of view bits.
+
+    Keys are opaque block identifiers (ISV: instruction-VA block; DSV:
+    page frame).  The cached payload is the in-view bit for that block
+    granule; ``lookup`` returns the cached bit on a hit and ``None`` on a
+    miss (caller blocks conservatively and calls ``fill``).
+    """
+
+    def __init__(self, name: str, entries: int = 128, ways: int = 4) -> None:
+        if entries % ways != 0:
+            raise ValueError("entries must divide by ways")
+        self.name = name
+        self.entries = entries
+        self.ways = ways
+        self.num_sets = entries // ways
+        # Each set: list of (tag, bit) ordered MRU-first.
+        self._sets: list[list[tuple[tuple[int, int], bool]]] = [
+            [] for _ in range(self.num_sets)]
+        self.stats = ViewCacheStats()
+
+    def _set_index(self, key: int) -> int:
+        return key % self.num_sets
+
+    def lookup(self, asid: int, key: int) -> bool | None:
+        """Cached in-view bit for (asid, key), or None on miss."""
+        ways = self._sets[self._set_index(key)]
+        tag = (asid, key)
+        for i, (entry_tag, bit) in enumerate(ways):
+            if entry_tag == tag:
+                self.stats.hits += 1
+                if i != 0:
+                    ways.insert(0, ways.pop(i))
+                return bit
+        self.stats.misses += 1
+        return None
+
+    def fill(self, asid: int, key: int, bit: bool) -> None:
+        ways = self._sets[self._set_index(key)]
+        tag = (asid, key)
+        for i, (entry_tag, _) in enumerate(ways):
+            if entry_tag == tag:
+                ways.pop(i)
+                break
+        else:
+            if len(ways) >= self.ways:
+                ways.pop()
+                self.stats.evictions += 1
+        ways.insert(0, (tag, bit))
+        self.stats.fills += 1
+
+    def invalidate_asid(self, asid: int) -> int:
+        """Drop every entry of one context (used when its view changes);
+        returns the number of entries dropped."""
+        dropped = 0
+        for ways in self._sets:
+            before = len(ways)
+            ways[:] = [(tag, bit) for tag, bit in ways if tag[0] != asid]
+            dropped += before - len(ways)
+        return dropped
+
+    def flush(self) -> None:
+        for ways in self._sets:
+            ways.clear()
+
+    def resident(self) -> int:
+        return sum(len(ways) for ways in self._sets)
+
+
+def isv_block_of(inst_va: int) -> int:
+    """ISV-cache key for an instruction VA."""
+    return inst_va // ISV_BLOCK_BYTES
+
+
+@dataclass(frozen=True)
+class HardwareCharacterization:
+    """CACTI-style figures for one structure (Table 9.1)."""
+
+    name: str
+    area_mm2: float
+    access_time_ps: float
+    dynamic_energy_pj: float
+    leakage_power_mw: float

@@ -1,0 +1,165 @@
+"""Branch prediction structures: conditional predictor, BTB, and RSB.
+
+These structures are *shared across execution contexts on a core*, which is
+precisely what the speculative control-flow hijacking attacks exploit:
+
+* Spectre v1 mistrains the conditional predictor at a victim branch PC.
+* Spectre v2 poisons a BTB entry so a victim indirect branch speculatively
+  jumps to an attacker-chosen gadget.
+* Spectre RSB poisons/underflows the return stack buffer so a victim
+  ``ret`` speculatively returns to a gadget.
+* BHI steers the indexing history so hardware isolation (eIBRS) picks an
+  attacker-controlled target despite tagging.
+* Retbleed makes deep-call-stack ``ret`` instructions fall back to the BTB,
+  bypassing retpoline.
+
+The models are small but mechanically faithful: mistraining really changes
+the prediction the pipeline follows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class ConditionalPredictor:
+    """A table of 2-bit saturating counters indexed by branch PC.
+
+    Stands in for the L-TAGE predictor of Table 7.1: what matters for the
+    attacks and the FENCE-style defenses is that (a) repeated outcomes bias
+    the prediction and (b) the structure is shared between attacker and
+    victim system calls on the same core.  The table is large enough that
+    distinct branches rarely alias -- mistraining works through the *same*
+    branch PC with attacker-chosen inputs, as in the original Spectre v1.
+    """
+
+    TABLE_SIZE = 1 << 20
+    WEAKLY_TAKEN = 2
+
+    def __init__(self) -> None:
+        self._counters: dict[int, int] = {}
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) % self.TABLE_SIZE
+
+    def predict(self, pc: int) -> bool:
+        """Predict taken (True) / not-taken (False) for the branch at pc."""
+        return self._counters.get(self._index(pc), self.WEAKLY_TAKEN) >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        idx = self._index(pc)
+        counter = self._counters.get(idx, self.WEAKLY_TAKEN)
+        if taken:
+            counter = min(3, counter + 1)
+        else:
+            counter = max(0, counter - 1)
+        self._counters[idx] = counter
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+
+class BranchTargetBuffer:
+    """Direct-mapped BTB for indirect call/jump targets.
+
+    ``hardware_isolation`` models eIBRS-style tagging: entries installed by
+    one privilege domain are not used by another.  The BHI attack bypasses
+    this isolation by colliding on branch history, modeled by the
+    ``history_collision`` flag on :meth:`poison`.
+    """
+
+    ENTRIES = 4096
+
+    def __init__(self, hardware_isolation: bool = False) -> None:
+        self.hardware_isolation = hardware_isolation
+        # index -> (target_va, domain, via_history_collision)
+        self._entries: dict[int, tuple[int, str, bool]] = {}
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) % self.ENTRIES
+
+    def predict(self, pc: int, domain: str) -> int | None:
+        entry = self._entries.get(self._index(pc))
+        if entry is None:
+            return None
+        target, entry_domain, via_history = entry
+        if self.hardware_isolation and entry_domain != domain and not via_history:
+            # eIBRS: cross-domain entries are not consumed...
+            return None
+        # ...unless the attacker collided on branch history (BHI).
+        return target
+
+    def install(self, pc: int, target: int, domain: str) -> None:
+        """Record an observed indirect-branch target (normal training)."""
+        self._entries[self._index(pc)] = (target, domain, False)
+
+    def poison(self, pc: int, target: int, domain: str,
+               history_collision: bool = False) -> None:
+        """Attacker-controlled entry injection (Spectre v2 / BHI)."""
+        self._entries[self._index(pc)] = (target, domain, history_collision)
+
+    def reset(self) -> None:
+        self._entries.clear()
+
+
+@dataclass
+class RSBConfig:
+    """Return stack buffer behaviour knobs.
+
+    ``btb_fallback_on_underflow`` models the Retbleed-vulnerable behaviour:
+    when the RSB underflows (deep call stacks), the return predictor falls
+    back to the BTB, which the attacker can poison even through retpolines.
+    """
+
+    entries: int = 16
+    btb_fallback_on_underflow: bool = True
+
+
+class ReturnStackBuffer:
+    """A fixed-depth return-address stack with underflow fallback."""
+
+    def __init__(self, config: RSBConfig | None = None) -> None:
+        self.config = config or RSBConfig()
+        self._stack: list[int] = []
+
+    def push(self, return_va: int) -> None:
+        if len(self._stack) >= self.config.entries:
+            # Oldest entry falls off the bottom: deep call chains underflow
+            # on the way back up.
+            self._stack.pop(0)
+        self._stack.append(return_va)
+
+    def pop_predict(self) -> int | None:
+        """Predicted return target, or None on underflow."""
+        if self._stack:
+            return self._stack.pop()
+        return None
+
+    def poison_top(self, target_va: int) -> None:
+        """Overwrite the top entry (Spectre RSB primitive)."""
+        if self._stack:
+            self._stack[-1] = target_va
+        else:
+            self._stack.append(target_va)
+
+    def clear(self) -> None:
+        self._stack.clear()
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+
+class BranchUnit:
+    """Bundles the core's shared prediction structures."""
+
+    def __init__(self, *, hardware_isolation: bool = False,
+                 rsb_config: RSBConfig | None = None) -> None:
+        self.conditional = ConditionalPredictor()
+        self.btb = BranchTargetBuffer(hardware_isolation=hardware_isolation)
+        self.rsb = ReturnStackBuffer(rsb_config)
+
+    def reset(self) -> None:
+        self.conditional.reset()
+        self.btb.reset()
+        self.rsb.clear()

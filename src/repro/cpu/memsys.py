@@ -1,0 +1,113 @@
+"""Memory system: main memory values, address translation, and the TLB.
+
+``MainMemory`` stores architectural values (the cache models in
+:mod:`repro.cpu.cache` track presence/timing only).  Translation is
+delegated to an :class:`AddressSpace`, implemented by the kernel model:
+kernel direct-map addresses translate linearly, userspace addresses go
+through per-process page tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class PageFault(Exception):
+    """Raised on translation failure (unmapped virtual address)."""
+
+    def __init__(self, va: int, message: str = "") -> None:
+        super().__init__(message or f"page fault at VA {va:#x}")
+        self.va = va
+
+
+class AddressSpace:
+    """Translation interface the pipeline uses.
+
+    The kernel model provides the real implementation
+    (:class:`repro.kernel.process.ProcessAddressSpace`).  The identity
+    mapping here is handy for unit tests and bare-metal attack demos.
+    """
+
+    def translate(self, va: int) -> int:
+        """Return the physical address backing ``va``.
+
+        Raises :class:`PageFault` when the address is unmapped.
+        """
+        return va
+
+
+class MainMemory:
+    """Byte-addressed sparse main memory.
+
+    Unwritten locations read as a deterministic function of their address
+    so experiments are reproducible without initializing all of memory.
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[int, int] = {}
+
+    def load(self, paddr: int) -> int:
+        value = self._data.get(paddr)
+        if value is not None:
+            return value
+        # Deterministic background pattern: distinct per address, stable
+        # across runs, and never equal to planted secrets (which are
+        # explicitly stored).
+        return (paddr * 2654435761) & 0xFF
+
+    def store(self, paddr: int, value: int) -> None:
+        self._data[paddr] = value & 0xFFFFFFFFFFFFFFFF
+
+    def store_bytes(self, paddr: int, data: bytes) -> None:
+        for offset, byte in enumerate(data):
+            self._data[paddr + offset] = byte
+
+    def load_bytes(self, paddr: int, length: int) -> bytes:
+        return bytes(self.load(paddr + i) & 0xFF for i in range(length))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+@dataclass
+class TLBStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class TLB:
+    """Small fully-associative TLB with LRU replacement.
+
+    Used for translation timing and to model the KPTI cost: switching page
+    tables on kernel entry/exit flushes non-global entries, so spot-mitigated
+    kernels pay extra TLB misses (Section 9.1 "spot software mitigations").
+    """
+
+    def __init__(self, entries: int = 64, miss_penalty: int = 20) -> None:
+        self.entries = entries
+        self.miss_penalty = miss_penalty
+        self._lru: list[int] = []  # page numbers, most recent first
+        self.stats = TLBStats()
+
+    def access(self, va: int) -> int:
+        """Returns extra cycles for this translation (0 on hit)."""
+        page = va >> 12
+        if page in self._lru:
+            self._lru.remove(page)
+            self._lru.insert(0, page)
+            self.stats.hits += 1
+            return 0
+        self.stats.misses += 1
+        if len(self._lru) >= self.entries:
+            self._lru.pop()
+        self._lru.insert(0, page)
+        return self.miss_penalty
+
+    def flush(self) -> None:
+        """Full flush (KPTI-style CR3 write without PCID)."""
+        self._lru.clear()

@@ -1,0 +1,31 @@
+"""Defense schemes evaluated in the paper (Chapter 7): the unsafe
+baseline, hardware-only schemes, Perspective, and spot mitigations."""
+
+from repro.defenses.base import CountingPolicy, FenceStats
+from repro.defenses.perspective import PerspectivePolicy
+from repro.defenses.schemes import (
+    DelayOnMissPolicy,
+    FencePolicy,
+    InvisiSpecPolicy,
+    STTPolicy,
+    UnsafePolicy,
+)
+from repro.defenses.spot import (
+    KPTI_SWITCH_COST,
+    KPTI_TLB_PRESSURE,
+    SpotMitigationPolicy,
+)
+
+__all__ = [
+    "CountingPolicy",
+    "DelayOnMissPolicy",
+    "FencePolicy",
+    "FenceStats",
+    "InvisiSpecPolicy",
+    "KPTI_SWITCH_COST",
+    "KPTI_TLB_PRESSURE",
+    "PerspectivePolicy",
+    "STTPolicy",
+    "SpotMitigationPolicy",
+    "UnsafePolicy",
+]

@@ -1,0 +1,104 @@
+"""The Perspective enforcement policy (Section 6.2).
+
+For every speculative load the hardware checks, in parallel:
+
+* **ISV**: does the load instruction belong to the context's instruction
+  speculation view?  The ISV cache is consulted first; on a miss the load
+  is conservatively blocked while the entry refills from the (demand-
+  populated) ISV bitmap page.  A context with *no installed ISV* trusts no
+  kernel code speculatively -- installing views is what relaxes protection.
+* **DSV**: does the target page belong to the context's data speculation
+  view?  Same conservative-miss handling through the DSV cache, refilled
+  by a DSVMT walk.
+
+A blocked load proceeds at its visibility point; on hits, LRU bits are not
+updated until the VP either (handled by the pipeline's squash semantics --
+wrong-path blocked loads never touch the cache at all).
+"""
+
+from __future__ import annotations
+
+from repro.core.dsvmt import WALK_LATENCY
+from repro.core.framework import Perspective
+from repro.core.hardware import REFILL_LATENCY, isv_block_of
+from repro.cpu.pipeline import LoadDecision, LoadQuery
+from repro.defenses.base import CountingPolicy
+from repro.kernel.layout import PAGE_SHIFT
+
+
+class PerspectivePolicy(CountingPolicy):
+    """Hardware enforcement of DSVs + ISVs via the view caches."""
+
+    name = "perspective"
+
+    def __init__(self, framework: Perspective,
+                 enforce_isv: bool = True,
+                 enforce_dsv: bool = True,
+                 cfi: bool = True,
+                 treat_unknown_as_owned: bool = False) -> None:
+        super().__init__()
+        self.framework = framework
+        self.enforce_isv = enforce_isv
+        self.enforce_dsv = enforce_dsv
+        #: Perspective builds on SpecCFI-style control-flow integrity
+        #: (Section 5.1): without it, speculation could be hijacked into
+        #: the middle of an ISV-trusted function, past its bounds checks.
+        self.cfi = cfi
+        #: Sensitivity knob (Section 9.2, "Unknown Allocations"): when set,
+        #: memory outside *every* DSV (boot globals, per-cpu) is allowed
+        #: rather than conservatively blocked, isolating the overhead that
+        #: unknown allocations contribute.  Insecure; measurement only.
+        self.treat_unknown_as_owned = treat_unknown_as_owned
+
+    def cfi_enabled(self) -> bool:
+        return self.cfi
+
+    def check_load(self, query: LoadQuery) -> LoadDecision:
+        ctx = query.context_id
+        if self.enforce_isv:
+            decision = self._check_isv(ctx, query)
+            if decision is not None:
+                return decision
+        if self.enforce_dsv:
+            decision = self._check_dsv(ctx, query)
+            if decision is not None:
+                return decision
+        return LoadDecision.ALLOW
+
+    # -- ISV side ---------------------------------------------------------
+
+    def _check_isv(self, ctx: int, query: LoadQuery) -> LoadDecision | None:
+        isv = self.framework.isv_for(ctx)
+        if isv is None:
+            # No view installed: nothing is trusted speculatively.
+            return self.block("isv")
+        cache = self.framework.isv_cache
+        block_key = isv_block_of(query.inst_va)
+        cached = cache.lookup(ctx, block_key)
+        if cached is None:
+            # Conservative block on miss; refill from the bitmap page.
+            pages = self.framework.isv_pages_for(ctx)
+            bit = pages.bit_for(query.inst_va)
+            cache.fill(ctx, block_key, bit)
+            return self.block("isv", extra_latency=REFILL_LATENCY)
+        if not cached:
+            return self.block("isv")
+        return None
+
+    # -- DSV side --------------------------------------------------------
+
+    def _check_dsv(self, ctx: int, query: LoadQuery) -> LoadDecision | None:
+        frame = query.load_pa >> PAGE_SHIFT
+        registry = self.framework.dsv_registry
+        if self.treat_unknown_as_owned \
+                and registry.owner_of(frame) is None:
+            return None
+        cache = self.framework.dsv_cache
+        cached = cache.lookup(ctx, frame)
+        if cached is None:
+            in_view = registry.dsvmt_for(ctx).lookup(frame)
+            cache.fill(ctx, frame, in_view)
+            return self.block("dsv", extra_latency=WALK_LATENCY)
+        if not cached:
+            return self.block("dsv")
+        return None

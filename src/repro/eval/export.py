@@ -1,0 +1,107 @@
+"""JSON export of experiment results (for external plotting/CI diffing).
+
+Each exporter flattens an experiment object into plain dicts; ``export_all``
+bundles whatever results are supplied plus provenance (image fingerprint,
+package version) into one document.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import repro
+from repro.analysis.profiles import image_fingerprint
+from repro.kernel.image import shared_image
+
+
+def lebench_to_dict(exp) -> dict[str, Any]:
+    return {
+        "schemes": list(exp.schemes),
+        "cycles": {scheme: dict(per_test)
+                   for scheme, per_test in exp.cycles.items()},
+        "normalized": {
+            scheme: {test: exp.normalized_latency(test, scheme)
+                     for test in exp.cycles["unsafe"]}
+            for scheme in exp.schemes},
+        "average_overhead_pct": {
+            scheme: exp.average_overhead_pct(scheme)
+            for scheme in exp.schemes if scheme != "unsafe"},
+    }
+
+
+def apps_to_dict(exp) -> dict[str, Any]:
+    apps = list(exp.total_cycles_per_request)
+    return {
+        "schemes": list(exp.schemes),
+        "rps": {app: {scheme: exp.rps(app, scheme)
+                      for scheme in exp.schemes} for app in apps},
+        "normalized_rps": {
+            app: {scheme: exp.normalized_rps(app, scheme)
+                  for scheme in exp.schemes} for app in apps},
+        "average_throughput_overhead_pct": {
+            scheme: exp.average_throughput_overhead_pct(scheme)
+            for scheme in exp.schemes if scheme != "unsafe"},
+    }
+
+
+def surface_to_dict(exp) -> dict[str, Any]:
+    return {
+        "total_functions": exp.total_functions,
+        "static_isv_size": dict(exp.static_isv_size),
+        "dynamic_isv_size": dict(exp.dynamic_isv_size),
+        "reduction": {
+            app: {"static": exp.reduction(app, "static"),
+                  "dynamic": exp.reduction(app, "dynamic")}
+            for app in exp.static_isv_size},
+    }
+
+
+def gadgets_to_dict(exp) -> dict[str, Any]:
+    return {
+        "total_by_class": dict(exp.total_by_class),
+        "search_space_functions": dict(exp.search_space_functions),
+        "blocked": {app: {flavor: dict(classes)
+                          for flavor, classes in rows.items()}
+                    for app, rows in exp.blocked.items()},
+    }
+
+
+def kasper_to_dict(exp) -> dict[str, Any]:
+    return {"speedups": dict(exp.speedups), "average": exp.average}
+
+
+def scorecard_to_dict(card) -> dict[str, Any]:
+    return {
+        "all_ok": card.all_ok,
+        "claims": [{
+            "id": outcome.claim.claim_id,
+            "paper": outcome.claim.paper_value,
+            "measured": outcome.measured,
+            "band": [outcome.claim.low, outcome.claim.high],
+            "ok": outcome.ok,
+        } for outcome in card.outcomes],
+    }
+
+
+def export_all(lebench=None, apps=None, surface=None, gadgets=None,
+               kasper=None, scorecard=None, indent: int = 2) -> str:
+    """Bundle every supplied result into one JSON document."""
+    doc: dict[str, Any] = {
+        "reproduction": "perspective-isca2024",
+        "version": repro.__version__,
+        "image_fingerprint": image_fingerprint(shared_image()),
+    }
+    if lebench is not None:
+        doc["lebench"] = lebench_to_dict(lebench)
+    if apps is not None:
+        doc["apps"] = apps_to_dict(apps)
+    if surface is not None:
+        doc["surface"] = surface_to_dict(surface)
+    if gadgets is not None:
+        doc["gadgets"] = gadgets_to_dict(gadgets)
+    if kasper is not None:
+        doc["kasper"] = kasper_to_dict(kasper)
+    if scorecard is not None:
+        doc["scorecard"] = scorecard_to_dict(scorecard)
+    return json.dumps(doc, indent=indent, sort_keys=True)

@@ -1,0 +1,85 @@
+"""Derived metrics: normalization, fence breakdowns, and summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.pipeline import ExecResult
+
+
+def normalized(value: float, baseline: float) -> float:
+    """value / baseline (1.0 = parity with UNSAFE)."""
+    if baseline == 0:
+        return 0.0
+    return value / baseline
+
+
+def overhead_pct(value: float, baseline: float) -> float:
+    """Percentage slowdown over the baseline."""
+    return 100.0 * (normalized(value, baseline) - 1.0)
+
+
+def geomean(values: list[float]) -> float:
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+@dataclass
+class FenceBreakdown:
+    """ISV-vs-DSV fence attribution (Table 10.1)."""
+
+    isv_fences: int = 0
+    dsv_fences: int = 0
+    other_fences: int = 0
+    committed_ops: int = 0
+
+    @classmethod
+    def from_exec(cls, exec_result: ExecResult) -> "FenceBreakdown":
+        out = cls(committed_ops=exec_result.committed_ops)
+        for reason, count in exec_result.fenced_loads.items():
+            if reason == "isv":
+                out.isv_fences += count
+            elif reason == "dsv":
+                out.dsv_fences += count
+            else:
+                out.other_fences += count
+        return out
+
+    @property
+    def total(self) -> int:
+        return self.isv_fences + self.dsv_fences + self.other_fences
+
+    @property
+    def isv_share(self) -> float:
+        """Fraction of fences attributable to ISVs."""
+        denom = self.isv_fences + self.dsv_fences
+        return self.isv_fences / denom if denom else 0.0
+
+    @property
+    def dsv_share(self) -> float:
+        denom = self.isv_fences + self.dsv_fences
+        return self.dsv_fences / denom if denom else 0.0
+
+    def fences_per_kiloinstruction(self, kind: str) -> float:
+        if self.committed_ops == 0:
+            return 0.0
+        count = {"isv": self.isv_fences, "dsv": self.dsv_fences,
+                 "total": self.total}[kind]
+        return 1000.0 * count / self.committed_ops
+
+
+@dataclass
+class SchemeSummary:
+    """Aggregate for one (workload, scheme) measurement."""
+
+    workload: str
+    scheme: str
+    cycles: float
+    committed_ops: int
+    breakdown: FenceBreakdown = field(default_factory=FenceBreakdown)
+    isv_cache_hit_rate: float = 0.0
+    dsv_cache_hit_rate: float = 0.0

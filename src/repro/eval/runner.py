@@ -1,0 +1,279 @@
+"""Experiment runners: one function per table/figure of the evaluation.
+
+Each runner assembles fresh environments, measures, and returns a plain
+data object that the formatting layer (:mod:`repro.eval.tables`,
+:mod:`repro.eval.figures`) renders in the paper's shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.binary import APPLICATIONS
+from repro.analysis.static_isv import static_isv_functions
+from repro.core.audit import harden_isv
+from repro.eval.envs import PERF_SCHEMES, RARE_EVERY, build_isv_for, make_env
+from repro.eval.metrics import FenceBreakdown, geomean, normalized
+from repro.kernel.image import shared_image
+from repro.kernel.kernel import MiniKernel
+from repro.scanner.kasper import discovery_speedup, scan
+from repro.workloads.apps import APP_NAMES, APP_SPECS, AppWorkload
+from repro.workloads.clients import CLIENTS
+from repro.workloads.lebench import run_lebench
+
+# ---------------------------------------------------------------------------
+# Figure 9.2: LEBench normalized latency
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LEBenchExperiment:
+    """Per-test cycles and normalized latency under every scheme."""
+
+    schemes: tuple[str, ...]
+    cycles: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def normalized_latency(self, test: str, scheme: str) -> float:
+        return normalized(self.cycles[scheme][test],
+                          self.cycles["unsafe"][test])
+
+    def average_overhead_pct(self, scheme: str) -> float:
+        tests = self.cycles["unsafe"].keys()
+        mean = geomean([self.normalized_latency(t, scheme) for t in tests])
+        return 100.0 * (mean - 1.0)
+
+    def max_overhead_pct(self, scheme: str) -> tuple[str, float]:
+        worst_test, worst = "", 0.0
+        for test in self.cycles["unsafe"]:
+            over = self.normalized_latency(test, scheme) - 1.0
+            if over > worst:
+                worst_test, worst = test, over
+        return worst_test, 100.0 * worst
+
+
+def run_lebench_experiment(schemes: tuple[str, ...] = PERF_SCHEMES,
+                           rare_every: int = RARE_EVERY,
+                           ) -> LEBenchExperiment:
+    """Run the LEBench suite under every scheme (Figure 9.2)."""
+    if "unsafe" not in schemes:
+        schemes = ("unsafe",) + tuple(schemes)
+    experiment = LEBenchExperiment(schemes=tuple(schemes))
+    for scheme in schemes:
+        env = make_env("lebench", scheme)
+        experiment.cycles[scheme] = run_lebench(
+            env.kernel, env.proc, rare_every=rare_every)
+    return experiment
+
+
+# ---------------------------------------------------------------------------
+# Figure 9.3: datacenter application throughput
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AppsExperiment:
+    """Per-app requests-per-second (simulated) under every scheme."""
+
+    schemes: tuple[str, ...]
+    #: app -> scheme -> cycles per request (kernel + fixed user budget).
+    total_cycles_per_request: dict[str, dict[str, float]] = \
+        field(default_factory=dict)
+    kernel_cycles_per_request: dict[str, dict[str, float]] = \
+        field(default_factory=dict)
+
+    CORE_HZ = 2.0e9  # Table 7.1
+
+    def rps(self, app: str, scheme: str) -> float:
+        return self.CORE_HZ / self.total_cycles_per_request[app][scheme]
+
+    def normalized_rps(self, app: str, scheme: str) -> float:
+        return self.rps(app, scheme) / self.rps(app, "unsafe")
+
+    def average_throughput_overhead_pct(self, scheme: str) -> float:
+        mean = geomean([self.normalized_rps(app, scheme)
+                        for app in self.total_cycles_per_request])
+        return 100.0 * (1.0 - mean)
+
+
+def run_apps_experiment(schemes: tuple[str, ...] = PERF_SCHEMES,
+                        apps: tuple[str, ...] = APP_NAMES,
+                        requests: int | None = None,
+                        rare_every: int = RARE_EVERY) -> AppsExperiment:
+    """Serve client batches per app x scheme (Figure 9.3)."""
+    if "unsafe" not in schemes:
+        schemes = ("unsafe",) + tuple(schemes)
+    experiment = AppsExperiment(schemes=tuple(schemes))
+    for app in apps:
+        per_scheme_kernel: dict[str, float] = {}
+        for scheme in schemes:
+            env = make_env(app, scheme)
+            workload = AppWorkload(env.kernel, env.proc, APP_SPECS[app],
+                                   rare_every=rare_every)
+            batch = requests if requests is not None \
+                else CLIENTS[app].sampled_requests
+            workload.serve(24, measure=False)  # warmup to steady state
+            result = workload.serve(batch)
+            per_scheme_kernel[scheme] = result.kernel_cycles_per_request
+        # Userspace budget from the paper's kernel-time fraction at the
+        # UNSAFE baseline; identical across schemes (user code is not
+        # gated by kernel speculation control).
+        f = APP_SPECS[app].kernel_time_fraction
+        user = per_scheme_kernel["unsafe"] * (1.0 - f) / f
+        experiment.kernel_cycles_per_request[app] = per_scheme_kernel
+        experiment.total_cycles_per_request[app] = {
+            scheme: kernel + user
+            for scheme, kernel in per_scheme_kernel.items()}
+    return experiment
+
+
+# ---------------------------------------------------------------------------
+# Table 8.1: attack-surface reduction
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SurfaceExperiment:
+    total_functions: int
+    static_isv_size: dict[str, int] = field(default_factory=dict)
+    dynamic_isv_size: dict[str, int] = field(default_factory=dict)
+
+    def reduction(self, app: str, flavor: str) -> float:
+        size = (self.static_isv_size if flavor == "static"
+                else self.dynamic_isv_size)[app]
+        return 1.0 - size / self.total_functions
+
+
+def run_surface_experiment(apps: tuple[str, ...] = ("lebench",) + APP_NAMES,
+                           ) -> SurfaceExperiment:
+    """Compute per-app static and dynamic ISV sizes (Table 8.1)."""
+    image = shared_image()
+    experiment = SurfaceExperiment(total_functions=image.total_functions)
+    for app in apps:
+        experiment.static_isv_size[app] = len(
+            static_isv_functions(image, APPLICATIONS[app]))
+        kernel = MiniKernel(image=image)
+        proc = kernel.create_process(app)
+        isv = build_isv_for(kernel, proc, app, "dynamic")
+        experiment.dynamic_isv_size[app] = len(isv)
+    return experiment
+
+
+# ---------------------------------------------------------------------------
+# Table 8.2: gadget reduction, and Figure 9.1: Kasper speedup
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GadgetExperiment:
+    #: app -> flavor ("ISV-S" | "ISV" | "ISV++") -> class -> blocked frac.
+    blocked: dict[str, dict[str, dict[str, float]]] = field(
+        default_factory=dict)
+    total_by_class: dict[str, int] = field(default_factory=dict)
+    search_space_functions: dict[str, int] = field(default_factory=dict)
+
+
+def run_gadget_experiment(apps: tuple[str, ...] = ("lebench",) + APP_NAMES,
+                          ) -> GadgetExperiment:
+    """Per-app gadget blocking for ISV-S / ISV / ISV++ (Table 8.2)."""
+    image = shared_image()
+    report = scan(image)
+    experiment = GadgetExperiment(total_by_class=report.by_class())
+    for app in apps:
+        static_fns = static_isv_functions(image, APPLICATIONS[app])
+        kernel = MiniKernel(image=image)
+        proc = kernel.create_process(app)
+        dynamic_isv = build_isv_for(kernel, proc, app, "dynamic")
+        flagged = scan(image, scope=dynamic_isv.functions).functions()
+        hardened = harden_isv(dynamic_isv, flagged).hardened
+        experiment.search_space_functions[app] = len(dynamic_isv)
+        experiment.blocked[app] = {
+            "ISV-S": {cls: report.blocked_fraction(static_fns, cls)
+                      for cls in ("mds", "port", "cache")},
+            "ISV": {cls: report.blocked_fraction(dynamic_isv.functions, cls)
+                    for cls in ("mds", "port", "cache")},
+            "ISV++": {cls: report.blocked_fraction(hardened.functions, cls)
+                      for cls in ("mds", "port", "cache")},
+        }
+    return experiment
+
+
+@dataclass
+class KasperExperiment:
+    #: app -> discovery-rate speedup (bounded / unbounded).
+    speedups: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def average(self) -> float:
+        return geomean(list(self.speedups.values()))
+
+
+def run_kasper_experiment(apps: tuple[str, ...] = ("lebench",) + APP_NAMES,
+                          hours: float = 35.0,
+                          n_seeds: int = 16) -> KasperExperiment:
+    """ISV-bounded fuzzing speedups per app (Figure 9.1), averaged over
+    ``n_seeds`` fuzzing seeds per paired campaign."""
+    image = shared_image()
+    experiment = KasperExperiment()
+    for i, app in enumerate(apps):
+        kernel = MiniKernel(image=image)
+        proc = kernel.create_process(app)
+        isv = build_isv_for(kernel, proc, app, "dynamic")
+        result = discovery_speedup(image, app, isv.functions,
+                                   hours=hours, seed=11 + i,
+                                   n_seeds=n_seeds)
+        experiment.speedups[app] = result.speedup
+    return experiment
+
+
+# ---------------------------------------------------------------------------
+# Table 10.1 + sensitivity (Section 9.2)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BreakdownExperiment:
+    #: workload -> scheme -> FenceBreakdown
+    breakdowns: dict[str, dict[str, FenceBreakdown]] = field(
+        default_factory=dict)
+    isv_cache_hit_rate: dict[str, dict[str, float]] = field(
+        default_factory=dict)
+    dsv_cache_hit_rate: dict[str, dict[str, float]] = field(
+        default_factory=dict)
+
+
+def run_breakdown_experiment(
+        workloads: tuple[str, ...] = ("lebench",) + APP_NAMES,
+        schemes: tuple[str, ...] = ("perspective-static", "perspective",
+                                    "perspective++"),
+        requests: int = 30) -> BreakdownExperiment:
+    """Fence attribution and view-cache hit rates under Perspective."""
+    experiment = BreakdownExperiment()
+    for workload in workloads:
+        experiment.breakdowns[workload] = {}
+        experiment.isv_cache_hit_rate[workload] = {}
+        experiment.dsv_cache_hit_rate[workload] = {}
+        for scheme in schemes:
+            env = make_env(workload, scheme)
+            driver_stats = None
+            if workload == "lebench":
+                from repro.workloads.driver import Driver
+                from repro.workloads.lebench import exercise_all
+                driver = Driver(env.kernel, env.proc,
+                                rare_every=RARE_EVERY)
+                exercise_all(driver)
+                exercise_all(driver)
+                driver_stats = driver.stats
+            else:
+                app_workload = AppWorkload(env.kernel, env.proc,
+                                           APP_SPECS[workload],
+                                           rare_every=RARE_EVERY)
+                app_workload.serve(requests)
+                driver_stats = app_workload.driver.stats
+            experiment.breakdowns[workload][scheme] = \
+                FenceBreakdown.from_exec(driver_stats.exec)
+            fw = env.framework
+            experiment.isv_cache_hit_rate[workload][scheme] = \
+                fw.isv_cache.stats.hit_rate
+            experiment.dsv_cache_hit_rate[workload][scheme] = \
+                fw.dsv_cache.stats.hit_rate
+    return experiment

@@ -1,0 +1,97 @@
+"""Microarchitectural parameter sweeps.
+
+The paper fixes one core configuration (Table 7.1); these sweeps show how
+the headline overheads move with the structures that matter, which is both
+a sanity check on the model (overheads must respond in the physically
+sensible direction) and the ablation data a reviewer would ask for:
+
+* **branch resolution latency** -- the speculation-window length; FENCE's
+  cost grows with it, Perspective's barely moves (its fences are rare);
+* **ROB size** -- deeper windows help the unprotected baseline overlap
+  misses more than they help FENCE (whose chains are data-limited), so
+  the *relative* overhead grows slightly and saturates;
+* **view-cache entries** -- Perspective's conservative-miss rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.framework import Perspective
+from repro.core.views import InstructionSpeculationView
+from repro.defenses import FencePolicy, PerspectivePolicy, UnsafePolicy
+from repro.eval.metrics import geomean
+from repro.kernel.image import shared_image
+from repro.kernel.kernel import KernelConfig, MiniKernel
+from repro.workloads.lebench import build_tests, run_lebench
+
+#: Representative LEBench subset for sweeps (one per behavioural class).
+SWEEP_TESTS = ("getpid", "read", "mmap", "select")
+
+
+@dataclass
+class SweepResult:
+    """Overhead (percent vs unsafe at the same point) per swept value."""
+
+    parameter: str
+    scheme: str
+    overhead_pct: dict[float, float] = field(default_factory=dict)
+
+    def values(self) -> list[float]:
+        return sorted(self.overhead_pct)
+
+    def render(self) -> str:
+        lines = [f"{self.parameter} sweep under {self.scheme}:"]
+        for value in self.values():
+            lines.append(f"  {value:>8g}: {self.overhead_pct[value]:+6.1f}%")
+        return "\n".join(lines)
+
+
+def _measure(scheme: str, pipeline_overrides: dict) -> float:
+    """Geomean LEBench-subset overhead of ``scheme`` vs unsafe, with the
+    same pipeline configuration applied to both."""
+    tests = [t for t in build_tests() if t.name in SWEEP_TESTS]
+    cycles = {}
+    for name in ("unsafe", scheme):
+        config = KernelConfig()
+        for attr, value in pipeline_overrides.items():
+            setattr(config.pipeline, attr, value)
+        kernel = MiniKernel(image=shared_image(), config=config)
+        proc = kernel.create_process("sweep")
+        if name == "perspective":
+            framework = Perspective(kernel)
+            functions = frozenset(
+                n for n, i in kernel.image.info.items()
+                if i.role != "driver")
+            framework.install_isv(InstructionSpeculationView(
+                proc.cgroup.cg_id, functions, kernel.image.layout,
+                source="sweep"))
+            kernel.pipeline.set_policy(PerspectivePolicy(framework))
+        elif name == "fence":
+            kernel.pipeline.set_policy(FencePolicy())
+        else:
+            kernel.pipeline.set_policy(UnsafePolicy())
+        cycles[name] = run_lebench(kernel, proc, tests=tests)
+    ratios = [cycles[scheme][t] / cycles["unsafe"][t] for t in cycles[scheme]]
+    return 100.0 * (geomean(ratios) - 1.0)
+
+
+def sweep_branch_resolve_latency(
+        values=(4.0, 7.0, 12.0, 20.0),
+        scheme: str = "fence") -> SweepResult:
+    """Overhead vs speculation-window length."""
+    result = SweepResult("branch_resolve_latency", scheme)
+    for value in values:
+        result.overhead_pct[value] = _measure(
+            scheme, {"branch_resolve_latency": value})
+    return result
+
+
+def sweep_rob_entries(values=(48, 96, 192, 384),
+                      scheme: str = "fence") -> SweepResult:
+    """Overhead vs reorder-buffer depth."""
+    result = SweepResult("rob_entries", scheme)
+    for value in values:
+        result.overhead_pct[value] = _measure(scheme,
+                                              {"rob_entries": value})
+    return result

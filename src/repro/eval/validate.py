@@ -1,0 +1,149 @@
+"""Machine-readable registry of the paper's quantitative claims.
+
+``EXPERIMENTS.md`` narrates paper-vs-measured; this module encodes the
+same claims as data so they can be *checked*: each claim names the paper
+value, the tolerance band the reproduction targets, and an extractor over
+the experiment results.  ``validate_claims`` runs every extractor and
+returns a structured scorecard -- the regression gate for the headline
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One quantitative claim from the paper."""
+
+    claim_id: str
+    description: str
+    paper_value: float
+    low: float
+    high: float
+    unit: str = "%"
+
+    def check(self, measured: float) -> bool:
+        return self.low <= measured <= self.high
+
+
+@dataclass
+class ClaimOutcome:
+    claim: Claim
+    measured: float
+
+    @property
+    def ok(self) -> bool:
+        return self.claim.check(self.measured)
+
+
+#: The headline claims, with the reproduction's accepted bands.
+CLAIMS: tuple[Claim, ...] = (
+    Claim("fence-lebench-avg", "FENCE average overhead on LEBench",
+          47.5, 30.0, 70.0),
+    Claim("fence-select-worst", "FENCE worst-case on select-family tests "
+          "(paper: up to 228%)", 228.0, 150.0, 320.0),
+    Claim("dom-lebench-avg", "Delay-on-Miss average overhead on LEBench",
+          23.1, 12.0, 40.0),
+    Claim("stt-lebench-avg", "STT average overhead on LEBench",
+          3.7, 0.5, 12.0),
+    Claim("spot-lebench-avg", "KPTI+retpoline average overhead on LEBench",
+          14.5, 8.0, 25.0),
+    Claim("perspective-lebench-avg", "Perspective (dynamic ISVs) average "
+          "overhead on LEBench", 3.6, -0.5, 8.0),
+    Claim("fence-apps-avg", "FENCE average throughput loss on datacenter "
+          "apps", 5.7, 2.0, 10.0),
+    Claim("perspective-apps-avg", "Perspective average throughput loss on "
+          "datacenter apps", 1.2, -1.0, 3.0),
+    Claim("isv-static-surface", "Static-ISV attack-surface reduction "
+          "(minimum across apps)", 90.0, 88.0, 94.0),
+    Claim("isv-dynamic-surface", "Dynamic-ISV attack-surface reduction "
+          "(minimum across apps)", 94.0, 93.0, 98.0),
+    Claim("kasper-speedup-avg", "Average Kasper discovery-rate speedup "
+          "(x)", 1.57, 1.2, 2.3, unit="x"),
+    Claim("isvpp-gadgets-blocked", "Gadgets blocked by ISV++ (minimum)",
+          100.0, 100.0, 100.0),
+)
+
+
+def claim(claim_id: str) -> Claim:
+    for item in CLAIMS:
+        if item.claim_id == claim_id:
+            return item
+    raise KeyError(claim_id)
+
+
+@dataclass
+class Scorecard:
+    outcomes: list[ClaimOutcome] = field(default_factory=list)
+
+    @property
+    def all_ok(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+    def render(self) -> str:
+        lines = [f"{'claim':<26} {'paper':>8} {'measured':>9} "
+                 f"{'band':>16} {'ok':>4}"]
+        for outcome in self.outcomes:
+            c = outcome.claim
+            lines.append(
+                f"{c.claim_id:<26} {c.paper_value:>7.1f}{c.unit} "
+                f"{outcome.measured:>8.2f}{c.unit} "
+                f"[{c.low:.1f}, {c.high:.1f}]"
+                f"{'  OK' if outcome.ok else '  FAIL':>6}")
+        return "\n".join(lines)
+
+
+def validate_claims(lebench=None, apps=None, surface=None, gadgets=None,
+                    kasper=None) -> Scorecard:
+    """Check every claim whose experiment result was supplied.
+
+    Pass the objects returned by the ``repro.eval.runner`` experiment
+    functions; claims without their experiment are skipped.
+    """
+    card = Scorecard()
+
+    def add(claim_id: str, measured: float) -> None:
+        card.outcomes.append(ClaimOutcome(claim(claim_id), measured))
+
+    if lebench is not None:
+        schemes = set(lebench.schemes)
+        if "fence" in schemes:
+            add("fence-lebench-avg", lebench.average_overhead_pct("fence"))
+            worst = max(
+                100 * (lebench.normalized_latency(t, "fence") - 1)
+                for t in ("select", "poll", "epoll"))
+            add("fence-select-worst", worst)
+        if "dom" in schemes:
+            add("dom-lebench-avg", lebench.average_overhead_pct("dom"))
+        if "stt" in schemes:
+            add("stt-lebench-avg", lebench.average_overhead_pct("stt"))
+        if "spot" in schemes:
+            add("spot-lebench-avg", lebench.average_overhead_pct("spot"))
+        if "perspective" in schemes:
+            add("perspective-lebench-avg",
+                lebench.average_overhead_pct("perspective"))
+    if apps is not None:
+        schemes = set(apps.schemes)
+        if "fence" in schemes:
+            add("fence-apps-avg",
+                apps.average_throughput_overhead_pct("fence"))
+        if "perspective" in schemes:
+            add("perspective-apps-avg",
+                apps.average_throughput_overhead_pct("perspective"))
+    if surface is not None:
+        add("isv-static-surface", 100 * min(
+            surface.reduction(app, "static")
+            for app in surface.static_isv_size))
+        add("isv-dynamic-surface", 100 * min(
+            surface.reduction(app, "dynamic")
+            for app in surface.dynamic_isv_size))
+    if gadgets is not None:
+        add("isvpp-gadgets-blocked", 100 * min(
+            min(rows["ISV++"].values())
+            for rows in gadgets.blocked.values()))
+    if kasper is not None:
+        add("kasper-speedup-avg", kasper.average)
+    return card

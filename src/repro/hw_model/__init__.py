@@ -1,0 +1,19 @@
+"""Analytical hardware models (CACTI-style SRAM characterization)."""
+
+from repro.hw_model.cacti import (
+    Cacti22nm,
+    DSV_CACHE_CONFIG,
+    ISV_CACHE_CONFIG,
+    SRAMCharacterization,
+    SRAMConfig,
+    table_9_1,
+)
+
+__all__ = [
+    "Cacti22nm",
+    "DSV_CACHE_CONFIG",
+    "ISV_CACHE_CONFIG",
+    "SRAMCharacterization",
+    "SRAMConfig",
+    "table_9_1",
+]

@@ -1,0 +1,105 @@
+"""Miniature OS model: allocators, processes, syscalls, tracing, seccomp,
+and the synthetic kernel image."""
+
+from repro.kernel.buddy import BuddyAllocator, OutOfMemory
+from repro.kernel.cgroup import Cgroup, CgroupRegistry, KERNEL_CGROUP_ID
+from repro.kernel.ebpf import (
+    BPFManager,
+    BPFProgram,
+    BPFVerifier,
+    MAP_SIZE,
+    VerifierError,
+)
+from repro.kernel.image import (
+    FOPS_KINDS,
+    ImageConfig,
+    KernelImage,
+    PROBE_ARRAY_OFF,
+    RARE_PATH_MAGIC,
+    SECRET_OFF,
+    SyscallSpec,
+)
+from repro.kernel.kernel import (
+    GLOBAL_PAGE_FRAME,
+    KernelConfig,
+    MiniKernel,
+    SYSCALL_TRAP_COST,
+    SyscallResult,
+)
+from repro.kernel.layout import (
+    DIRECT_MAP_BASE,
+    KERNEL_TEXT_BASE,
+    PAGE_SIZE,
+    TOTAL_FRAMES,
+    direct_map_pa,
+    direct_map_va,
+)
+from repro.kernel.process import (
+    KernelMappings,
+    OpenFile,
+    Process,
+    ProcessAddressSpace,
+    VmArea,
+)
+from repro.kernel.seccomp import (
+    Action,
+    ArgCheck,
+    ArgCmp,
+    FilterRule,
+    SeccompFilter,
+    SeccompViolation,
+)
+from repro.kernel.slab import (
+    SIZE_CLASSES,
+    SecureSlabAllocator,
+    SlabAllocator,
+    size_class_for,
+)
+from repro.kernel.tracing import KernelTracer
+
+__all__ = [
+    "Action",
+    "BPFManager",
+    "BPFProgram",
+    "BPFVerifier",
+    "MAP_SIZE",
+    "VerifierError",
+    "ArgCheck",
+    "ArgCmp",
+    "BuddyAllocator",
+    "Cgroup",
+    "CgroupRegistry",
+    "DIRECT_MAP_BASE",
+    "FOPS_KINDS",
+    "FilterRule",
+    "GLOBAL_PAGE_FRAME",
+    "ImageConfig",
+    "KERNEL_CGROUP_ID",
+    "KERNEL_TEXT_BASE",
+    "KernelConfig",
+    "KernelImage",
+    "KernelMappings",
+    "KernelTracer",
+    "MiniKernel",
+    "OpenFile",
+    "OutOfMemory",
+    "PAGE_SIZE",
+    "PROBE_ARRAY_OFF",
+    "Process",
+    "ProcessAddressSpace",
+    "RARE_PATH_MAGIC",
+    "SECRET_OFF",
+    "SIZE_CLASSES",
+    "SYSCALL_TRAP_COST",
+    "SeccompFilter",
+    "SeccompViolation",
+    "SecureSlabAllocator",
+    "SlabAllocator",
+    "SyscallResult",
+    "SyscallSpec",
+    "TOTAL_FRAMES",
+    "VmArea",
+    "direct_map_pa",
+    "direct_map_va",
+    "size_class_for",
+]

@@ -1,0 +1,58 @@
+"""Control groups: the execution-context handle Perspective attaches DSVs to.
+
+The paper's implementation (Section 6.1) tracks resource ownership per
+cgroup: each container/workload runs in its own cgroup, and the buddy and
+secure-slab allocators tag frames with the cgroup id of the allocating
+context.  Kernel threads get distinct cgroups for stronger isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+#: Reserved cgroup id for memory owned by the kernel itself (boot-time
+#: structures that are explicitly kernel-global, not "unknown").
+KERNEL_CGROUP_ID = 0
+
+
+@dataclass(frozen=True)
+class Cgroup:
+    """A control group (execution context for speculation views)."""
+
+    cg_id: int
+    name: str
+
+    def __str__(self) -> str:
+        return f"cgroup#{self.cg_id}({self.name})"
+
+
+class CgroupRegistry:
+    """Allocates cgroup ids and resolves them back to cgroups."""
+
+    def __init__(self) -> None:
+        self._by_id: dict[int, Cgroup] = {}
+        self._by_name: dict[str, Cgroup] = {}
+        self._next_id = KERNEL_CGROUP_ID
+        self.create("kernel")  # id 0
+
+    def create(self, name: str) -> Cgroup:
+        if name in self._by_name:
+            raise ValueError(f"cgroup {name!r} already exists")
+        cg = Cgroup(self._next_id, name)
+        self._next_id += 1
+        self._by_id[cg.cg_id] = cg
+        self._by_name[name] = cg
+        return cg
+
+    def get(self, cg_id: int) -> Cgroup:
+        return self._by_id[cg_id]
+
+    def by_name(self, name: str) -> Cgroup:
+        return self._by_name[name]
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def all(self) -> list[Cgroup]:
+        return list(self._by_id.values())

@@ -1,0 +1,145 @@
+"""Processes and address spaces.
+
+Each process has a user page table plus the shared kernel mappings: the
+kernel text, the full direct map (the monolithic mapping at the heart of
+the paper's threat analysis), and the vmalloc area holding kernel stacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.memsys import AddressSpace, PageFault
+from repro.kernel.cgroup import Cgroup
+from repro.kernel.layout import (
+    DIRECT_MAP_BASE,
+    KERNEL_TEXT_BASE,
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    PHYS_SIZE,
+    VMALLOC_BASE,
+    direct_map_pa,
+)
+
+
+class KernelMappings:
+    """Mappings shared by every process: text, direct map, vmalloc.
+
+    Kernel text is backed by boot-reserved frames starting at physical 0.
+    """
+
+    VMALLOC_SPAN = 1 << 30
+
+    def __init__(self) -> None:
+        self._vmalloc: dict[int, int] = {}  # va page -> frame
+        self._next_vmalloc_va = VMALLOC_BASE
+
+    def vmalloc_map(self, frame: int) -> int:
+        """Map one frame at the next free vmalloc address; returns the VA."""
+        va = self._next_vmalloc_va
+        self._next_vmalloc_va += PAGE_SIZE
+        self._vmalloc[va >> PAGE_SHIFT] = frame
+        return va
+
+    def vmalloc_unmap(self, va: int) -> int:
+        """Remove a vmalloc mapping; returns the frame that backed it."""
+        return self._vmalloc.pop(va >> PAGE_SHIFT)
+
+    def translate(self, va: int) -> int | None:
+        if DIRECT_MAP_BASE <= va < DIRECT_MAP_BASE + PHYS_SIZE:
+            return direct_map_pa(va)
+        if KERNEL_TEXT_BASE <= va < KERNEL_TEXT_BASE + (64 << PAGE_SHIFT):
+            return va - KERNEL_TEXT_BASE  # text backed by frames [0, 64)
+        frame = self._vmalloc.get(va >> PAGE_SHIFT)
+        if frame is not None:
+            return (frame << PAGE_SHIFT) | (va & (PAGE_SIZE - 1))
+        return None
+
+
+class ProcessAddressSpace(AddressSpace):
+    """Per-process translation: user page table + shared kernel mappings."""
+
+    def __init__(self, kernel_mappings: KernelMappings) -> None:
+        self.kernel = kernel_mappings
+        self._user: dict[int, int] = {}  # va page -> frame
+
+    def map_user(self, va: int, frame: int) -> None:
+        self._user[va >> PAGE_SHIFT] = frame
+
+    def unmap_user(self, va: int) -> int:
+        page = va >> PAGE_SHIFT
+        if page not in self._user:
+            raise PageFault(va, f"munmap of unmapped VA {va:#x}")
+        return self._user.pop(page)
+
+    def user_frame(self, va: int) -> int | None:
+        return self._user.get(va >> PAGE_SHIFT)
+
+    def user_pages(self) -> int:
+        return len(self._user)
+
+    def translate(self, va: int) -> int:
+        pa = self.kernel.translate(va)
+        if pa is not None:
+            return pa
+        frame = self._user.get(va >> PAGE_SHIFT)
+        if frame is None:
+            raise PageFault(va)
+        return (frame << PAGE_SHIFT) | (va & (PAGE_SIZE - 1))
+
+
+@dataclass
+class OpenFile:
+    """A file-table entry; ``fops_kind`` selects the indirect-call target
+    family (ext4 / pipe / socket ...) the VFS dispatches through."""
+
+    fd: int
+    fops_kind: str
+    backing_pa: int  # metadata object from the (secure) slab allocator
+
+
+@dataclass
+class VmArea:
+    """A user mapping created by mmap / brk / a demand fault."""
+
+    va: int
+    length: int
+    #: Frame backing each page, in page order.
+    frames: list[int] = field(default_factory=list)
+    #: Block heads to hand back to the buddy allocator on unmap (equal to
+    #: ``frames`` for page-at-a-time mmap; a single head for the order-2
+    #: fault-around blocks).
+    free_heads: list[int] = field(default_factory=list)
+    populated: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.free_heads:
+            self.free_heads = list(self.frames)
+
+
+@dataclass
+class Process:
+    """A userspace process (one per workload container in the evaluation)."""
+
+    pid: int
+    name: str
+    cgroup: Cgroup
+    aspace: ProcessAddressSpace
+    kernel_stack_va: int = 0
+    kernel_stack_frames: list[int] = field(default_factory=list)
+    #: Page-table frames allocated on fork (owned by the mm, not any vma).
+    pt_frames: list[int] = field(default_factory=list)
+    files: dict[int, OpenFile] = field(default_factory=dict)
+    vmas: dict[int, VmArea] = field(default_factory=dict)
+    next_fd: int = 3
+    #: Heap page (direct-map VA) the kernel image uses as this context's
+    #: "own data" base register during simulation.
+    heap_va: int = 0
+    #: Per-process metadata object (task_struct stand-in) in the slab.
+    task_struct_pa: int = 0
+    alive: bool = True
+
+    def alloc_fd(self) -> int:
+        fd = self.next_fd
+        self.next_fd += 1
+        return fd

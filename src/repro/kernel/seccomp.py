@@ -1,0 +1,116 @@
+"""Seccomp-style system call interposition (Section 2.3, Figure 2.1).
+
+Processes install filters restricting which system calls they may make and
+with which argument values.  Filters are expressed as ordered rules over
+the syscall number and raw argument words -- like seccomp-BPF, they cannot
+dereference pointers, which is what rules out TOCTOU races.
+
+Perspective's ISV generation "marries" this allow-list idea with
+speculation control: the same per-application syscall profile that a
+seccomp policy captures seeds the set of trusted kernel entry points
+(Section 5.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Action(enum.Enum):
+    ALLOW = "allow"
+    ERRNO = "errno"  # deny with an error return
+    KILL = "kill"  # terminate the process
+
+
+class ArgCmp(enum.Enum):
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    MASKED_EQ = "&=="  # (arg & mask) == value
+
+
+@dataclass(frozen=True)
+class ArgCheck:
+    """One predicate over a raw syscall argument word."""
+
+    index: int
+    cmp: ArgCmp
+    value: int
+    mask: int = 0xFFFFFFFFFFFFFFFF
+
+    def matches(self, args: tuple[int, ...]) -> bool:
+        if self.index >= len(args):
+            return False
+        arg = args[self.index]
+        if self.cmp is ArgCmp.EQ:
+            return arg == self.value
+        if self.cmp is ArgCmp.NE:
+            return arg != self.value
+        if self.cmp is ArgCmp.LT:
+            return arg < self.value
+        if self.cmp is ArgCmp.LE:
+            return arg <= self.value
+        if self.cmp is ArgCmp.GT:
+            return arg > self.value
+        if self.cmp is ArgCmp.GE:
+            return arg >= self.value
+        if self.cmp is ArgCmp.MASKED_EQ:
+            return (arg & self.mask) == self.value
+        raise ValueError(f"unknown comparison {self.cmp}")
+
+
+@dataclass(frozen=True)
+class FilterRule:
+    """Match a syscall (by name) and optional argument predicates."""
+
+    syscall: str
+    action: Action
+    arg_checks: tuple[ArgCheck, ...] = ()
+
+    def matches(self, syscall: str, args: tuple[int, ...]) -> bool:
+        if syscall != self.syscall:
+            return False
+        return all(check.matches(args) for check in self.arg_checks)
+
+
+@dataclass
+class SeccompFilter:
+    """An ordered rule list with a default action.
+
+    First matching rule wins, mirroring BPF filter semantics.
+    """
+
+    rules: list[FilterRule] = field(default_factory=list)
+    default_action: Action = Action.ERRNO
+
+    def evaluate(self, syscall: str, args: tuple[int, ...] = ()) -> Action:
+        for rule in self.rules:
+            if rule.matches(syscall, args):
+                return rule.action
+        return self.default_action
+
+    def allowed_syscalls(self) -> frozenset[str]:
+        """Syscalls with at least one unconditional ALLOW rule."""
+        return frozenset(
+            rule.syscall for rule in self.rules
+            if rule.action is Action.ALLOW and not rule.arg_checks)
+
+    @classmethod
+    def allow_list(cls, syscalls: frozenset[str] | set[str] | list[str],
+                   default: Action = Action.ERRNO) -> "SeccompFilter":
+        """Build a plain allow-list filter (the common container policy)."""
+        rules = [FilterRule(name, Action.ALLOW) for name in sorted(syscalls)]
+        return cls(rules=rules, default_action=default)
+
+
+class SeccompViolation(Exception):
+    """Raised when a KILL-action filter fires."""
+
+    def __init__(self, syscall: str, pid: int) -> None:
+        super().__init__(f"seccomp killed pid {pid} on syscall {syscall!r}")
+        self.syscall = syscall
+        self.pid = pid

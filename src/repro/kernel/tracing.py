@@ -1,0 +1,64 @@
+"""Kernel function tracing (the ftrace stand-in).
+
+Dynamic ISVs are built from traces: Perspective "leverages kernel-level
+process tracing to identify the set of actively used system calls and
+kernel function paths" (Section 5.3).  The tracer hooks the pipeline's
+function-entry callback and records, per execution context, every kernel
+function the committed path enters.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.cpu.isa import Function
+from repro.cpu.pipeline import ExecutionContext
+
+
+class KernelTracer:
+    """Records committed function entries per context while enabled."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._functions_by_context: dict[int, set[str]] = defaultdict(set)
+        self._syscalls_by_context: dict[int, set[str]] = defaultdict(set)
+        self._entry_counts: dict[str, int] = defaultdict(int)
+
+    def start(self) -> None:
+        self.enabled = True
+
+    def stop(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self._functions_by_context.clear()
+        self._syscalls_by_context.clear()
+        self._entry_counts.clear()
+
+    # -- pipeline hook ---------------------------------------------------
+
+    def on_function_entry(self, func: Function,
+                          context: ExecutionContext) -> None:
+        if not self.enabled:
+            return
+        self._functions_by_context[context.context_id].add(func.name)
+        self._entry_counts[func.name] += 1
+
+    def record_syscall(self, context_id: int, syscall_name: str) -> None:
+        if self.enabled:
+            self._syscalls_by_context[context_id].add(syscall_name)
+
+    # -- profile queries ---------------------------------------------------
+
+    def traced_functions(self, context_id: int) -> frozenset[str]:
+        """All kernel functions observed for the context."""
+        return frozenset(self._functions_by_context.get(context_id, ()))
+
+    def traced_syscalls(self, context_id: int) -> frozenset[str]:
+        return frozenset(self._syscalls_by_context.get(context_id, ()))
+
+    def entry_count(self, func_name: str) -> int:
+        return self._entry_counts.get(func_name, 0)
+
+    def contexts(self) -> list[int]:
+        return list(self._functions_by_context)

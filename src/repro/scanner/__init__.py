@@ -1,0 +1,27 @@
+"""Kasper-like transient-execution gadget scanner: taint analysis,
+fuzzed exploration, and ISV-bounded discovery speedups."""
+
+from repro.scanner.fuzzer import (
+    FuzzCampaign,
+    ROLE_REACH_WEIGHT,
+    TIME_UNITS_PER_HOUR,
+    run_campaign,
+)
+from repro.scanner.gadgets import GADGET_CLASSES, GadgetReport
+from repro.scanner.kasper import SpeedupResult, discovery_speedup, scan
+from repro.scanner.taint import GadgetFinding, TAINT_SEED, analyze_function
+
+__all__ = [
+    "FuzzCampaign",
+    "GADGET_CLASSES",
+    "GadgetFinding",
+    "GadgetReport",
+    "ROLE_REACH_WEIGHT",
+    "TIME_UNITS_PER_HOUR",
+    "SpeedupResult",
+    "TAINT_SEED",
+    "analyze_function",
+    "discovery_speedup",
+    "run_campaign",
+    "scan",
+]

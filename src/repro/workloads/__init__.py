@@ -1,0 +1,40 @@
+"""Workloads: the LEBench microbenchmark suite and datacenter application
+models with their load-generation clients."""
+
+from repro.workloads.apps import (
+    APP_NAMES,
+    APP_SPECS,
+    AppRunResult,
+    AppSpec,
+    AppState,
+    AppWorkload,
+)
+from repro.workloads.clients import CLIENTS, ClientSpec
+from repro.workloads.driver import Driver, RunStats
+from repro.workloads.lebench import (
+    LEBenchTest,
+    TEST_NAMES,
+    TestState,
+    build_tests,
+    exercise_all,
+    run_lebench,
+)
+
+__all__ = [
+    "APP_NAMES",
+    "APP_SPECS",
+    "AppRunResult",
+    "AppSpec",
+    "AppState",
+    "AppWorkload",
+    "CLIENTS",
+    "ClientSpec",
+    "Driver",
+    "LEBenchTest",
+    "RunStats",
+    "TEST_NAMES",
+    "TestState",
+    "build_tests",
+    "exercise_all",
+    "run_lebench",
+]

@@ -1,0 +1,41 @@
+"""Load-generation clients (Chapter 7's methodology).
+
+The paper drives httpd/nginx with ``ab`` (40K requests), redis with
+``redis-benchmark`` (20K requests averaged over its test list), and
+memcached with ``memslap`` (160K requests).  Simulated cycles are
+deterministic, so the harness serves a sampled batch per configuration and
+reports per-request figures; each client spec records both the paper's
+request count and the sampled count used here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ClientSpec:
+    """One load generator."""
+
+    name: str
+    tool: str
+    app: str
+    paper_requests: int
+    sampled_requests: int
+
+    @property
+    def sampling_note(self) -> str:
+        return (f"{self.tool}: paper drives {self.paper_requests} requests; "
+                f"deterministic simulation samples {self.sampled_requests}")
+
+
+CLIENTS: dict[str, ClientSpec] = {
+    "httpd": ClientSpec("ab-httpd", "ab", "httpd",
+                        paper_requests=40_000, sampled_requests=40),
+    "nginx": ClientSpec("ab-nginx", "ab", "nginx",
+                        paper_requests=40_000, sampled_requests=40),
+    "redis": ClientSpec("redis-benchmark", "redis-benchmark", "redis",
+                        paper_requests=20_000, sampled_requests=60),
+    "memcached": ClientSpec("memslap", "memslap", "memcached",
+                            paper_requests=160_000, sampled_requests=60),
+}

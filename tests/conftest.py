@@ -1,0 +1,32 @@
+"""Shared fixtures: the expensive kernel image is built once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.image import shared_image
+from repro.kernel.kernel import KernelConfig, MiniKernel
+
+
+@pytest.fixture(scope="session")
+def image():
+    """The default synthetic kernel image (cached per process)."""
+    return shared_image()
+
+
+@pytest.fixture()
+def kernel(image):
+    """A fresh kernel instance sharing the session image."""
+    return MiniKernel(image=image)
+
+
+@pytest.fixture()
+def kernel_eibrs(image):
+    """A kernel with eIBRS-style BTB isolation enabled."""
+    return MiniKernel(image=image,
+                      config=KernelConfig(btb_hardware_isolation=True))
+
+
+@pytest.fixture()
+def proc(kernel):
+    return kernel.create_process("test")

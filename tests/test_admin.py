@@ -1,0 +1,123 @@
+"""Tests for the administrator ISV-management layer (Section 5.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.admin import ApplicationPolicy, ISVAdministrator
+from repro.core.framework import Perspective
+
+
+@pytest.fixture()
+def admin(kernel):
+    return ISVAdministrator(Perspective(kernel)), kernel
+
+
+def some_functions(image, n=6):
+    return frozenset(list(image.info)[:n])
+
+
+class TestInstallation:
+    def test_install_applies_global_exclusions(self, admin, image):
+        administrator, kernel = admin
+        functions = some_functions(image)
+        banned = next(iter(functions))
+        administrator.exclude_globally({banned}, reason="CVE-2099-1")
+        isv = administrator.install(5, functions)
+        assert banned not in isv
+        assert len(isv) == len(functions) - 1
+
+    def test_install_records_audit_entry(self, admin, image):
+        administrator, _ = admin
+        administrator.install(5, some_functions(image), reason="boot")
+        entry = administrator.audit_trail[-1]
+        assert entry.action == "install"
+        assert entry.context_id == 5
+        assert entry.reason == "boot"
+
+    def test_surface_report(self, admin, image):
+        administrator, _ = admin
+        administrator.install(5, some_functions(image, 6))
+        administrator.install(7, some_functions(image, 4))
+        report = administrator.surface_report()
+        assert report[5] == 6
+        assert report[7] == 4
+
+
+class TestFleetPolicies:
+    def test_register_and_install_policy(self, admin, image):
+        administrator, _ = admin
+        administrator.register_policy(ApplicationPolicy(
+            "web-tier", some_functions(image), "vetted web-server view"))
+        isv = administrator.install_policy(9, "web-tier")
+        assert len(isv) == 6
+        assert isv.source == "admin:web-tier"
+        assert administrator.policies() == ["web-tier"]
+
+    def test_unknown_policy_rejected(self, admin):
+        administrator, _ = admin
+        with pytest.raises(KeyError):
+            administrator.install_policy(9, "nope")
+
+
+class TestIncidentResponse:
+    def test_exclusion_rehardens_running_contexts(self, admin, image):
+        """The no-downtime patching story: a disclosure lands, the admin
+        excludes the function, every running context's view shrinks and
+        its hardware entries are invalidated -- immediately."""
+        administrator, _ = admin
+        functions = some_functions(image, 8)
+        administrator.install(5, functions)
+        administrator.install(7, functions)
+        victim_fn = sorted(functions)[2]
+        updated = administrator.exclude_globally({victim_fn},
+                                                 reason="CVE-2099-2")
+        assert updated == 2
+        for ctx in (5, 7):
+            assert victim_fn not in administrator.framework.isv_for(ctx)
+
+    def test_exclusion_applies_to_future_installs(self, admin, image):
+        administrator, _ = admin
+        functions = some_functions(image, 8)
+        victim_fn = sorted(functions)[0]
+        administrator.exclude_globally({victim_fn}, reason="CVE")
+        isv = administrator.install(11, functions)
+        assert victim_fn not in isv
+
+    def test_exclusion_of_absent_function_is_noop_per_context(self, admin,
+                                                              image):
+        administrator, _ = admin
+        functions = some_functions(image, 4)
+        administrator.install(5, functions)
+        outside = next(n for n in image.info if n not in functions)
+        updated = administrator.exclude_globally({outside}, reason="CVE")
+        assert updated == 0
+        assert len(administrator.framework.isv_for(5)) == 4
+
+    def test_global_exclusions_accumulate(self, admin, image):
+        administrator, _ = admin
+        names = sorted(image.info)[:3]
+        administrator.exclude_globally({names[0]}, reason="a")
+        administrator.exclude_globally({names[1], names[2]}, reason="b")
+        assert administrator.global_exclusions == frozenset(names)
+
+
+class TestEndToEndIncident:
+    def test_exclusion_blocks_live_gadget(self, image):
+        """Full loop: permissive view leaks through a known gadget; the
+        administrator's exclusion stops it with no reboot."""
+        from repro.attacks.base import make_setup
+        from repro.attacks.harness import build_perspective
+        from repro.attacks.spectre_v1 import SpectreV1ActiveAttack
+        from repro.kernel.kernel import MiniKernel
+        kernel = MiniKernel(image=image)
+        setup = make_setup(kernel)
+        framework, policy = build_perspective(
+            kernel, isv_functions=frozenset(image.info))
+        policy.enforce_dsv = False  # isolate the ISV mechanism
+        administrator = ISVAdministrator(framework)
+        attack = SpectreV1ActiveAttack(setup)
+        assert attack.run("before").success
+        administrator.exclude_globally({"ioctl_v1_gadget"},
+                                       reason="disclosure day")
+        assert attack.run("after").blocked

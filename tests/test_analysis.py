@@ -1,0 +1,122 @@
+"""Tests for the ISV generation toolchain: call graphs, static ISVs,
+dynamic ISVs, and the static/dynamic gap."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.binary import APPLICATIONS, extract_syscalls
+from repro.analysis.callgraph import (
+    ground_truth_graph,
+    reachable_from,
+    static_call_graph,
+)
+from repro.analysis.dynamic_isv import generate_dynamic_isv
+from repro.analysis.static_isv import generate_static_isv, static_isv_functions
+
+
+class TestBinaries:
+    def test_all_apps_have_known_syscalls(self, image):
+        for binary in APPLICATIONS.values():
+            for syscall in binary.static_syscall_surface():
+                assert syscall in image.syscalls, \
+                    f"{binary.name} references unknown {syscall}"
+
+    def test_extraction_overapproximates_usage(self):
+        for binary in APPLICATIONS.values():
+            assert binary.used_syscalls <= extract_syscalls(binary)
+
+
+class TestCallGraphs:
+    def test_static_graph_has_direct_edges_only(self, image):
+        static = static_call_graph(image)
+        truth = ground_truth_graph(image)
+        assert static.number_of_edges() < truth.number_of_edges()
+        # Indirect edge example: sys_read -> ext4_read.
+        assert not static.has_edge("sys_read", "ext4_read")
+        assert truth.has_edge("sys_read", "ext4_read")
+
+    def test_reachability_includes_entries(self, image):
+        graph = static_call_graph(image)
+        result = reachable_from(graph, {"sys_getpid"})
+        assert "sys_getpid" in result
+        assert any(n.startswith("getpid_impl") for n in result)
+
+    def test_reachability_of_unknown_entry_is_empty(self, image):
+        graph = static_call_graph(image)
+        assert reachable_from(graph, {"nope"}) == frozenset()
+
+
+class TestStaticISV:
+    def test_includes_error_paths(self, image):
+        functions = static_isv_functions(image, APPLICATIONS["httpd"])
+        assert "read_error_path" in functions
+
+    def test_excludes_indirect_targets(self, image):
+        functions = static_isv_functions(image, APPLICATIONS["httpd"])
+        assert "ext4_read" not in functions
+
+    def test_excludes_drivers(self, image):
+        functions = static_isv_functions(image, APPLICATIONS["httpd"])
+        drivers = {n for n, i in image.info.items() if i.role == "driver"}
+        assert not functions & drivers
+
+    def test_excludes_unused_syscall_trees(self, image):
+        functions = static_isv_functions(image, APPLICATIONS["memcached"])
+        assert "sys_select" not in functions  # memcached never selects
+
+    def test_reduction_in_paper_range(self, image):
+        """Table 8.1: static ISVs cut the surface by 90-92%."""
+        for app, binary in APPLICATIONS.items():
+            functions = static_isv_functions(image, binary)
+            reduction = 1 - len(functions) / image.total_functions
+            assert 0.88 <= reduction <= 0.94, (app, reduction)
+
+    def test_generate_returns_view(self, image):
+        isv = generate_static_isv(image, APPLICATIONS["redis"], 3)
+        assert isv.context_id == 3
+        assert isv.source == "static"
+        assert "sys_recvfrom" in isv
+
+
+class TestDynamicISV:
+    def _profile(self, kernel, proc):
+        fd = kernel.syscall(proc, "open", args=(0,)).retval
+
+        def workload():
+            kernel.syscall(proc, "read", args=(fd, 64), spin=4)
+            kernel.syscall(proc, "getpid")
+        return generate_dynamic_isv(kernel, proc, workload)
+
+    def test_contains_executed_functions_only(self, kernel, proc):
+        isv = self._profile(kernel, proc)
+        assert "sys_read" in isv
+        assert "sys_getpid" in isv
+        assert "sys_fork" not in isv
+
+    def test_includes_indirect_targets(self, kernel, proc):
+        isv = self._profile(kernel, proc)
+        assert "ext4_read" in isv  # invisible to static analysis
+
+    def test_excludes_error_and_rare_paths(self, kernel, proc):
+        isv = self._profile(kernel, proc)
+        assert "read_error_path" not in isv
+        assert "read_rare_path" not in isv
+
+    def test_dynamic_smaller_than_static(self, kernel, image):
+        """Figure 5.3: dynamic ISVs are strictly smaller (they drop the
+        never-executed statically-reachable code)."""
+        from repro.eval.envs import build_isv_for
+        proc = kernel.create_process("httpd")
+        dynamic = build_isv_for(kernel, proc, "httpd", "dynamic")
+        static_count = len(static_isv_functions(image,
+                                                APPLICATIONS["httpd"]))
+        assert len(dynamic) < static_count
+
+    def test_dynamic_reduction_in_paper_range(self, kernel):
+        """Table 8.1: dynamic ISVs cut the surface by 94-96%."""
+        from repro.eval.envs import build_isv_for
+        proc = kernel.create_process("nginx")
+        isv = build_isv_for(kernel, proc, "nginx", "dynamic")
+        reduction = 1 - len(isv) / kernel.image.total_functions
+        assert 0.93 <= reduction <= 0.98

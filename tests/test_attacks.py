@@ -1,0 +1,176 @@
+"""End-to-end security tests: the Chapter 8 PoC matrix.
+
+Every attack must leak the planted secret on the UNSAFE baseline (the PoC
+actually works) and be blocked by Perspective.  The spot-mitigation rows
+reproduce the motivating gaps of Table 4.1: Spectre v1, Retbleed and
+Spectre-RSB leak *through* KPTI+retpoline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.base import make_setup
+from repro.attacks.covert import CovertChannel
+from repro.attacks.cves import (
+    MitigationGap,
+    Primitive,
+    TABLE_4_1,
+    record_for_row,
+    records_by_primitive,
+)
+from repro.attacks.harness import ATTACKS, build_policy, run_attack
+
+ACTIVE = ("spectre-v1-active", "spectre-v2-active")
+PASSIVE = ("spectre-v2-passive", "retbleed-passive", "spectre-rsb-passive")
+
+
+class TestCovertChannel:
+    def test_flush_then_reload_distinguishes_touched_line(self, kernel):
+        proc = kernel.create_process("p")
+        channel = CovertChannel(kernel, proc)
+        channel.flush()
+        assert channel.reload().hit_lines() == frozenset()
+        pa = proc.aspace.translate(
+            proc.heap_va + 0x10000 + 37 * 64)
+        kernel.hierarchy.access_data(pa)
+        assert channel.reload().hit_lines() == frozenset({37})
+
+    def test_differential_recovery(self, kernel):
+        proc = kernel.create_process("p")
+        channel = CovertChannel(kernel, proc)
+        measured = frozenset({3, 7, 42})
+        control = frozenset({3, 7})
+        assert channel.recover_differential(measured, control) == 42
+        assert channel.recover_differential(measured, measured) is None
+        assert channel.recover_differential(
+            frozenset({1, 2, 3}), frozenset()) is None  # ambiguous
+
+
+class TestUnsafeBaseline:
+    @pytest.mark.parametrize("attack", ACTIVE + PASSIVE)
+    def test_attack_leaks_on_unsafe_hardware(self, attack):
+        result = run_attack(attack, "unsafe")
+        assert result.success, \
+            f"{attack} PoC failed to leak on unprotected hardware"
+        assert result.leaked == result.secret
+
+    def test_bhi_leaks_despite_eibrs(self):
+        assert run_attack("bhi-passive", "unsafe").success
+
+    def test_plain_v2_blocked_by_eibrs(self):
+        """The BHI control experiment: naive cross-domain injection is
+        stopped by the hardware isolation."""
+        assert run_attack("spectre-v2-vs-eibrs", "unsafe").blocked
+
+
+class TestSpotMitigationGaps:
+    def test_spectre_v1_leaks_through_spot_mitigations(self):
+        """KPTI and retpolines do nothing for v1 (Table 4.1 rows 1-3)."""
+        assert run_attack("spectre-v1-active", "spot").success
+
+    def test_retbleed_leaks_through_retpoline(self):
+        """Table 4.1 row 7: return hijacking bypasses retpolines."""
+        assert run_attack("retbleed-passive", "spot").success
+
+    def test_rsb_poisoning_leaks_through_spot(self):
+        assert run_attack("spectre-rsb-passive", "spot").success
+
+    def test_retpoline_does_block_classic_v2(self):
+        assert run_attack("spectre-v2-passive", "spot").blocked
+        assert run_attack("spectre-v2-active", "spot").blocked
+
+
+class TestPerspectiveBlocksEverything:
+    @pytest.mark.parametrize("attack", sorted(ATTACKS))
+    def test_blocked_under_perspective(self, attack):
+        result = run_attack(attack, "perspective")
+        assert result.blocked, f"{attack} leaked under Perspective!"
+        assert result.leaked == b""
+
+    def test_active_attacks_blocked_by_dsv_alone(self, image):
+        """Section 8.1: DSVs alone eliminate active attacks, even with a
+        fully permissive ISV."""
+        from repro.attacks.harness import build_perspective
+        from repro.attacks.spectre_v1 import SpectreV1ActiveAttack
+        from repro.kernel.kernel import MiniKernel
+        kernel = MiniKernel(image=image)
+        setup = make_setup(kernel)
+        build_perspective(kernel,
+                          isv_functions=frozenset(image.info))  # allow all
+        result = SpectreV1ActiveAttack(setup).run("perspective-dsv-only")
+        assert result.blocked
+
+    def test_passive_attack_blocked_by_isv_alone(self, image):
+        """Section 8.2: the hijack gadget is outside the ISV, so the
+        victim cannot transiently execute its transmitter."""
+        from repro.attacks.harness import build_perspective, \
+            non_driver_isv_functions
+        from repro.attacks.spectre_v2 import SpectreV2PassiveAttack
+        from repro.defenses import PerspectivePolicy
+        from repro.kernel.kernel import MiniKernel
+        kernel = MiniKernel(image=image)
+        setup = make_setup(kernel)
+        framework, policy = build_perspective(kernel)
+        policy.enforce_dsv = False  # ISVs only
+        result = SpectreV2PassiveAttack(setup).run("perspective-isv-only")
+        assert result.blocked
+
+
+class TestOtherHardwareSchemes:
+    @pytest.mark.parametrize("scheme", ("fence", "dom", "stt"))
+    def test_v1_blocked_by_restrictive_schemes(self, scheme):
+        assert run_attack("spectre-v1-active", scheme).blocked
+
+    @pytest.mark.parametrize("scheme", ("fence", "stt"))
+    def test_passive_v2_blocked_by_restrictive_schemes(self, scheme):
+        assert run_attack("spectre-v2-passive", scheme).blocked
+
+
+class TestISVPatchingStory:
+    def test_shrinking_isv_blocks_newly_found_gadget(self, image):
+        """Section 5.4: a gadget inside the ISV leaks until the view is
+        tightened at runtime -- no kernel patch, no downtime."""
+        from repro.attacks.harness import build_perspective
+        from repro.attacks.spectre_v1 import SpectreV1ActiveAttack
+        from repro.defenses import PerspectivePolicy
+        from repro.kernel.kernel import MiniKernel
+        kernel = MiniKernel(image=image)
+        setup = make_setup(kernel)
+        framework, policy = build_perspective(
+            kernel, isv_functions=frozenset(image.info))
+        policy.enforce_dsv = False  # isolate the ISV mechanism
+        attack = SpectreV1ActiveAttack(setup)
+        # Attack its OWN context's data so DSV would not matter anyway:
+        # plant a known byte in the victim's place inside attacker heap.
+        leaked_before = attack.run("isv-permissive")
+        assert leaked_before.success  # gadget inside ISV: leaks
+        framework.shrink_isv(setup.attacker.cgroup.cg_id,
+                             {"ioctl_v1_gadget"})
+        leaked_after = attack.run("isv-hardened")
+        assert leaked_after.blocked
+
+
+class TestCVERegistry:
+    def test_nine_rows(self):
+        assert len(TABLE_4_1) == 9
+        assert [r.row for r in TABLE_4_1] == list(range(1, 10))
+
+    def test_primitive_partition(self):
+        data = records_by_primitive(Primitive.DATA_ACCESS)
+        flow = records_by_primitive(Primitive.CONTROL_FLOW)
+        assert len(data) == 4
+        assert len(flow) == 5
+
+    def test_every_row_has_runnable_poc(self):
+        for rec in TABLE_4_1:
+            assert rec.poc in ATTACKS
+
+    def test_row_lookup(self):
+        assert record_for_row(7).description == "Retbleed"
+        with pytest.raises(KeyError):
+            record_for_row(10)
+
+    def test_known_gaps_annotated(self):
+        assert record_for_row(5).gap is MitigationGap.HARDWARE
+        assert record_for_row(7).gap is MitigationGap.SOFTWARE

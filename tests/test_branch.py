@@ -1,0 +1,137 @@
+"""Unit tests for the branch prediction structures."""
+
+from __future__ import annotations
+
+from repro.cpu.branch import (
+    BranchTargetBuffer,
+    BranchUnit,
+    ConditionalPredictor,
+    RSBConfig,
+    ReturnStackBuffer,
+)
+
+
+class TestConditionalPredictor:
+    def test_initial_prediction_weakly_taken(self):
+        assert ConditionalPredictor().predict(0x1000)
+
+    def test_training_toward_not_taken(self):
+        p = ConditionalPredictor()
+        p.update(0x1000, False)
+        p.update(0x1000, False)
+        assert not p.predict(0x1000)
+
+    def test_mistraining_spectre_v1_pattern(self):
+        """In-bounds calls bias taken; one OOB outcome does not flip it."""
+        p = ConditionalPredictor()
+        for _ in range(6):
+            p.update(0x2000, True)
+        assert p.predict(0x2000)
+        p.update(0x2000, False)  # the attack call itself
+        assert p.predict(0x2000)  # still mispredicts taken next time
+
+    def test_counters_saturate(self):
+        """Saturation bounds retraining: exactly two contrary outcomes
+        flip a fully-trained 2-bit counter, not one."""
+        p = ConditionalPredictor()
+        for _ in range(100):
+            p.update(0x1000, True)
+        p.update(0x1000, False)
+        assert p.predict(0x1000)  # one contrary outcome is not enough
+        p.update(0x1000, False)
+        assert not p.predict(0x1000)
+
+    def test_distinct_pcs_do_not_alias(self):
+        p = ConditionalPredictor()
+        p.update(0x1000, False)
+        p.update(0x1000, False)
+        assert p.predict(0x2000)  # untouched entry stays default
+
+    def test_reset(self):
+        p = ConditionalPredictor()
+        p.update(0x1000, False)
+        p.update(0x1000, False)
+        p.reset()
+        assert p.predict(0x1000)
+
+
+class TestBTB:
+    def test_miss_returns_none(self):
+        assert BranchTargetBuffer().predict(0x1000, "kernel") is None
+
+    def test_install_then_predict(self):
+        btb = BranchTargetBuffer()
+        btb.install(0x1000, 0x5000, "kernel")
+        assert btb.predict(0x1000, "kernel") == 0x5000
+
+    def test_poison_cross_domain_without_isolation(self):
+        btb = BranchTargetBuffer(hardware_isolation=False)
+        btb.poison(0x1000, 0xBAD, domain="user:attacker")
+        assert btb.predict(0x1000, "kernel") == 0xBAD
+
+    def test_eibrs_blocks_cross_domain(self):
+        btb = BranchTargetBuffer(hardware_isolation=True)
+        btb.poison(0x1000, 0xBAD, domain="user:attacker")
+        assert btb.predict(0x1000, "kernel") is None
+
+    def test_bhi_history_collision_bypasses_eibrs(self):
+        btb = BranchTargetBuffer(hardware_isolation=True)
+        btb.poison(0x1000, 0xBAD, domain="user:attacker",
+                   history_collision=True)
+        assert btb.predict(0x1000, "kernel") == 0xBAD
+
+    def test_same_domain_allowed_under_isolation(self):
+        btb = BranchTargetBuffer(hardware_isolation=True)
+        btb.install(0x1000, 0x5000, "kernel")
+        assert btb.predict(0x1000, "kernel") == 0x5000
+
+
+class TestRSB:
+    def test_balanced_push_pop(self):
+        rsb = ReturnStackBuffer()
+        rsb.push(0x100)
+        rsb.push(0x200)
+        assert rsb.pop_predict() == 0x200
+        assert rsb.pop_predict() == 0x100
+
+    def test_underflow_returns_none(self):
+        assert ReturnStackBuffer().pop_predict() is None
+
+    def test_overflow_drops_oldest(self):
+        rsb = ReturnStackBuffer(RSBConfig(entries=4))
+        for i in range(6):
+            rsb.push(i)
+        assert rsb.depth == 4
+        # Pops return the newest four; the two oldest are gone.
+        assert [rsb.pop_predict() for _ in range(4)] == [5, 4, 3, 2]
+        assert rsb.pop_predict() is None
+
+    def test_poison_top_overwrites(self):
+        rsb = ReturnStackBuffer()
+        rsb.push(0x100)
+        rsb.poison_top(0xBAD)
+        assert rsb.pop_predict() == 0xBAD
+
+    def test_poison_top_on_empty_plants_entry(self):
+        rsb = ReturnStackBuffer()
+        rsb.poison_top(0xBAD)
+        assert rsb.pop_predict() == 0xBAD
+
+    def test_clear(self):
+        rsb = ReturnStackBuffer()
+        rsb.push(1)
+        rsb.clear()
+        assert rsb.depth == 0
+
+
+class TestBranchUnit:
+    def test_reset_clears_all_structures(self):
+        unit = BranchUnit()
+        unit.conditional.update(0x10, False)
+        unit.conditional.update(0x10, False)
+        unit.btb.install(0x10, 0x20, "kernel")
+        unit.rsb.push(0x30)
+        unit.reset()
+        assert unit.conditional.predict(0x10)
+        assert unit.btb.predict(0x10, "kernel") is None
+        assert unit.rsb.depth == 0

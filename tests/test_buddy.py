@@ -1,0 +1,121 @@
+"""Unit and property tests for the buddy allocator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel.buddy import BuddyAllocator, OutOfMemory
+
+
+def small_buddy(frames: int = 64, reserved: int = 0) -> BuddyAllocator:
+    return BuddyAllocator(frames, reserved)
+
+
+class TestBuddyBasics:
+    def test_alloc_returns_aligned_block(self):
+        buddy = small_buddy()
+        frame = buddy.alloc_pages(order=3)
+        assert frame % 8 == 0
+
+    def test_alloc_free_restores_capacity(self):
+        buddy = small_buddy()
+        before = buddy.free_frames()
+        frame = buddy.alloc_pages(2)
+        assert buddy.free_frames() == before - 4
+        buddy.free_pages(frame)
+        assert buddy.free_frames() == before
+
+    def test_buddies_coalesce(self):
+        buddy = small_buddy(16)
+        frames = [buddy.alloc_pages(0) for _ in range(16)]
+        for frame in frames:
+            buddy.free_pages(frame)
+        # After freeing everything the max-order block is whole again.
+        assert buddy.alloc_pages(4) == 0
+        assert buddy.stats.merges > 0
+
+    def test_reserved_frames_never_allocated(self):
+        buddy = small_buddy(16, reserved=4)
+        seen = set()
+        while True:
+            try:
+                frame = buddy.alloc_pages(0)
+            except OutOfMemory:
+                break
+            seen.add(frame)
+        assert all(frame >= 4 for frame in seen)
+        assert len(seen) == 12
+
+    def test_out_of_memory(self):
+        buddy = small_buddy(8)
+        buddy.alloc_pages(3)
+        with pytest.raises(OutOfMemory):
+            buddy.alloc_pages(0)
+
+    def test_double_free_rejected(self):
+        buddy = small_buddy()
+        frame = buddy.alloc_pages(0)
+        buddy.free_pages(frame)
+        with pytest.raises(ValueError):
+            buddy.free_pages(frame)
+
+    def test_free_of_non_head_rejected(self):
+        buddy = small_buddy()
+        frame = buddy.alloc_pages(2)
+        with pytest.raises(ValueError):
+            buddy.free_pages(frame + 1)
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            small_buddy().alloc_pages(order=11)
+
+    def test_owner_recorded_and_cleared(self):
+        buddy = small_buddy()
+        frame = buddy.alloc_pages(0, owner=7)
+        assert buddy.owner_of(frame) == 7
+        buddy.free_pages(frame)
+        assert buddy.owner_of(frame) is None
+
+    def test_allocations_listing(self):
+        buddy = small_buddy()
+        f1 = buddy.alloc_pages(1, owner=3)
+        f2 = buddy.alloc_pages(0, owner=4)
+        listing = dict((frame, (order, owner))
+                       for frame, order, owner in buddy.allocations())
+        assert listing[f1] == (1, 3)
+        assert listing[f2] == (0, 4)
+
+
+class TestOwnershipHooks:
+    def test_hooks_fire_with_extent_and_owner(self):
+        buddy = small_buddy()
+        events = []
+        buddy.on_alloc = lambda f, n, o: events.append(("alloc", f, n, o))
+        buddy.on_free = lambda f, n, o: events.append(("free", f, n, o))
+        frame = buddy.alloc_pages(2, owner=9)
+        buddy.free_pages(frame)
+        assert events == [("alloc", frame, 4, 9), ("free", frame, 4, 9)]
+
+
+class TestBuddyInvariants:
+    @given(st.lists(st.tuples(st.booleans(),
+                              st.integers(min_value=0, max_value=3)),
+                    min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_random_churn_preserves_accounting(self, operations):
+        buddy = small_buddy(64, reserved=2)
+        live: list[int] = []
+        rng = random.Random(1234)
+        for is_alloc, order in operations:
+            if is_alloc or not live:
+                try:
+                    live.append(buddy.alloc_pages(order))
+                except OutOfMemory:
+                    pass
+            else:
+                buddy.free_pages(live.pop(rng.randrange(len(live))))
+            buddy.check_invariants()
+        assert buddy.free_frames() + buddy.allocated_frames() == 62

@@ -1,0 +1,134 @@
+"""Unit and property tests for the cache models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.cache import CacheHierarchy, SetAssociativeCache
+
+
+def tiny_cache(ways: int = 2, sets: int = 4) -> SetAssociativeCache:
+    return SetAssociativeCache("t", sets * ways * 64, 64, ways, 2)
+
+
+class TestSetAssociativeCache:
+    def test_miss_then_hit_after_fill(self):
+        cache = tiny_cache()
+        assert not cache.lookup(0x1000)
+        cache.fill(0x1000)
+        assert cache.lookup(0x1000)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_same_line_aliases(self):
+        cache = tiny_cache()
+        cache.fill(0x1000)
+        assert cache.lookup(0x1001)  # same 64-byte line
+        assert cache.lookup(0x103F)
+
+    def test_lru_eviction_within_set(self):
+        cache = tiny_cache(ways=2, sets=1)
+        cache.fill(0 * 64)
+        cache.fill(1 * 64)
+        cache.lookup(0 * 64)  # make line 0 MRU
+        cache.fill(2 * 64)  # evicts line 1 (LRU)
+        assert cache.peek(0 * 64)
+        assert not cache.peek(1 * 64)
+        assert cache.peek(2 * 64)
+        assert cache.stats.evictions == 1
+
+    def test_touch_lru_false_keeps_recency(self):
+        cache = tiny_cache(ways=2, sets=1)
+        cache.fill(0 * 64)
+        cache.fill(1 * 64)  # MRU=1, LRU=0
+        cache.lookup(0 * 64, touch_lru=False)  # DOM-style probe
+        cache.fill(2 * 64)  # still evicts 0 (recency unchanged)
+        assert not cache.peek(0 * 64)
+
+    def test_peek_has_no_stat_effect(self):
+        cache = tiny_cache()
+        cache.peek(0x40)
+        assert cache.stats.accesses == 0
+
+    def test_flush_line(self):
+        cache = tiny_cache()
+        cache.fill(0x40)
+        assert cache.flush_line(0x40)
+        assert not cache.peek(0x40)
+        assert not cache.flush_line(0x40)  # already gone
+
+    def test_flush_all(self):
+        cache = tiny_cache()
+        for i in range(4):
+            cache.fill(i * 64)
+        cache.flush_all()
+        assert cache.resident_lines() == 0
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache("bad", 1000, 64, 3, 2)
+
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1,
+                    max_size=200))
+    @settings(max_examples=50)
+    def test_occupancy_never_exceeds_capacity(self, lines):
+        cache = tiny_cache(ways=2, sets=2)
+        for line in lines:
+            cache.fill(line * 64)
+        assert cache.resident_lines() <= 4
+        # Most recently filled line is always present.
+        assert cache.peek(lines[-1] * 64)
+
+
+class TestCacheHierarchy:
+    def test_latencies_by_level(self):
+        h = CacheHierarchy()
+        first = h.access_data(0x1234)
+        assert first.level == "dram"
+        assert first.latency == h.L1_LATENCY + h.L2_LATENCY + h.DRAM_LATENCY
+        second = h.access_data(0x1234)
+        assert second.level == "l1"
+        assert second.l1_hit
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = CacheHierarchy()
+        h.access_data(0x1000)
+        # Evict from L1 by filling its set (8 ways + 1 conflicting lines).
+        for i in range(1, 10):
+            h.access_data(0x1000 + i * h.L1D_SIZE // h.L1D_WAYS)
+        result = h.access_data(0x1000)
+        assert result.level == "l2"
+
+    def test_probe_latency_does_not_perturb(self):
+        h = CacheHierarchy()
+        assert h.probe_latency(0x5000) > h.L1_LATENCY + h.L2_LATENCY
+        assert h.probe_latency(0x5000) > h.L1_LATENCY + h.L2_LATENCY
+        h.access_data(0x5000)
+        assert h.probe_latency(0x5000) == h.L1_LATENCY
+
+    def test_flush_data_removes_from_all_levels(self):
+        h = CacheHierarchy()
+        h.access_data(0x2000)
+        h.flush_data(0x2000)
+        assert h.probe_latency(0x2000) == \
+            h.L1_LATENCY + h.L2_LATENCY + h.DRAM_LATENCY
+
+    def test_instruction_side_separate_from_data(self):
+        h = CacheHierarchy()
+        h.access_inst(0x3000)
+        assert not h.is_l1d_hit(0x3000)
+        assert h.l1i.peek(0x3000)
+
+    def test_is_l1d_hit_matches_peek(self):
+        h = CacheHierarchy()
+        assert not h.is_l1d_hit(0x4000)
+        h.access_data(0x4000)
+        assert h.is_l1d_hit(0x4000)
+
+    def test_reset_stats(self):
+        h = CacheHierarchy()
+        h.access_data(0x100)
+        h.reset_stats()
+        assert h.l1d.stats.accesses == 0
+        assert h.l2.stats.accesses == 0

@@ -1,0 +1,53 @@
+"""Tests for the CACTI-style SRAM model (Table 9.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw_model.cacti import (
+    Cacti22nm,
+    DSV_CACHE_CONFIG,
+    ISV_CACHE_CONFIG,
+    SRAMConfig,
+    table_9_1,
+)
+
+
+class TestTable91Fit:
+    def test_dsv_cache_matches_paper(self):
+        dsv, _ = table_9_1()
+        assert dsv.area_mm2 == pytest.approx(0.0024, abs=1e-4)
+        assert dsv.access_time_ps == pytest.approx(114, abs=1)
+        assert dsv.dynamic_energy_pj == pytest.approx(1.21, abs=0.01)
+        assert dsv.leakage_power_mw == pytest.approx(0.78, abs=0.01)
+
+    def test_isv_cache_matches_paper(self):
+        _, isv = table_9_1()
+        assert isv.area_mm2 == pytest.approx(0.0025, abs=1e-4)
+        assert isv.access_time_ps == pytest.approx(115, abs=1)
+        assert isv.dynamic_energy_pj == pytest.approx(1.29, abs=0.01)
+        assert isv.leakage_power_mw == pytest.approx(0.79, abs=0.01)
+
+    def test_structure_geometry(self):
+        assert DSV_CACHE_CONFIG.entries == 128
+        assert DSV_CACHE_CONFIG.entry_bits == 53
+        assert ISV_CACHE_CONFIG.entry_bits == 57
+        assert DSV_CACHE_CONFIG.total_bits == 128 * 53
+
+
+class TestModelScaling:
+    def test_bigger_structures_cost_more(self):
+        model = Cacti22nm()
+        small = model.characterize(SRAMConfig("s", 128, 53, 4))
+        big = model.characterize(SRAMConfig("b", 1024, 53, 4))
+        assert big.area_mm2 > small.area_mm2
+        assert big.access_time_ps > small.access_time_ps
+        assert big.dynamic_energy_pj > small.dynamic_energy_pj
+        assert big.leakage_power_mw > small.leakage_power_mw
+
+    def test_associativity_costs_energy_and_time(self):
+        model = Cacti22nm()
+        low = model.characterize(SRAMConfig("l", 128, 53, 2))
+        high = model.characterize(SRAMConfig("h", 128, 53, 8))
+        assert high.dynamic_energy_pj > low.dynamic_energy_pj
+        assert high.access_time_ps > low.access_time_ps

@@ -1,0 +1,90 @@
+"""Tests for the SpecCFI layer and the mid-function hijack it stops."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.base import make_setup
+from repro.attacks.midfunction import (
+    MidFunctionHijackAttack,
+    run_midfunction_attack,
+)
+from repro.cpu.isa import CodeLayout, Function, icall, kret, li, ret
+from repro.cpu.memsys import MainMemory
+from repro.cpu.pipeline import ExecutionContext, Pipeline, SpeculationPolicy
+from repro.kernel.kernel import MiniKernel
+
+
+class CFIOnlyPolicy(SpeculationPolicy):
+    name = "cfi-only"
+
+    def cfi_enabled(self) -> bool:
+        return True
+
+
+class TestCFIMechanism:
+    def _pipeline(self):
+        layout = CodeLayout(0x40000, stride_ops=64)
+        target = layout.add(Function("target", [li("r9", 1), ret()]))
+        main = layout.add(Function("main", [
+            li("r1", target.base_va), icall("r1"), kret()]))
+        pipeline = Pipeline(layout, MainMemory())
+        return pipeline, main, target
+
+    def test_entry_target_predictions_unaffected(self):
+        pipeline, main, target = self._pipeline()
+        pipeline.set_policy(CFIOnlyPolicy())
+        pipeline.run(main, ExecutionContext(1))  # trains BTB with entry
+        result = pipeline.run(main, ExecutionContext(1))
+        assert result.cfi_suppressions == 0
+
+    def test_midfunction_prediction_suppressed(self):
+        pipeline, main, target = self._pipeline()
+        pipeline.set_policy(CFIOnlyPolicy())
+        pc = main.va_of(1)
+        pipeline.branch_unit.btb.poison(pc, target.va_of(1),
+                                        domain="kernel")
+        result = pipeline.run(main, ExecutionContext(1))
+        assert result.cfi_suppressions == 1
+        assert result.transient_ops == 0
+
+    def test_without_cfi_midfunction_prediction_speculates(self):
+        pipeline, main, target = self._pipeline()
+        pc = main.va_of(1)
+        pipeline.branch_unit.btb.poison(pc, target.va_of(1),
+                                        domain="kernel")
+        result = pipeline.run(main, ExecutionContext(1))
+        assert result.cfi_suppressions == 0
+        assert result.indirect_mispredictions == 1
+
+    def test_entry_gadget_predictions_pass_the_label_check(self):
+        """Coarse CFI only validates entries: a poisoned prediction to a
+        *function entry* still speculates (why CFI alone is not enough --
+        the paper's ISV argument in Chapter 10)."""
+        pipeline, main, target = self._pipeline()
+        other = pipeline.layout.add(Function("other", [li("r8", 2), ret()]))
+        pipeline.set_policy(CFIOnlyPolicy())
+        pc = main.va_of(1)
+        pipeline.branch_unit.btb.poison(pc, other.base_va, domain="kernel")
+        result = pipeline.run(main, ExecutionContext(1))
+        assert result.cfi_suppressions == 0
+        assert result.indirect_mispredictions == 1
+
+
+class TestMidFunctionAttack:
+    def test_leaks_on_unsafe_hardware(self, image):
+        kernel = MiniKernel(image=image)
+        setup = make_setup(kernel)
+        result = MidFunctionHijackAttack(setup).run("unsafe")
+        assert result.success
+
+    def test_bypasses_isv_when_cfi_disabled(self):
+        """The motivating hole: the hijack lands past the bounds check of
+        an ISV-trusted function and DSV cannot help (the access reads the
+        victim's own memory)."""
+        assert run_midfunction_attack(cfi=False).success
+
+    def test_blocked_by_perspective_default_cfi(self):
+        result = run_midfunction_attack(cfi=True)
+        assert result.blocked
+        assert result.leaked == b""

@@ -1,0 +1,161 @@
+"""Tests for the synthetic kernel image generator."""
+
+from __future__ import annotations
+
+from repro.cpu.isa import Op
+from repro.kernel.image import (
+    FOPS_KINDS,
+    ImageConfig,
+    KernelImage,
+    REG_GLOBAL,
+    SCRATCH,
+    WRITABLE_SCRATCH,
+)
+
+
+class TestImageStructure:
+    def test_total_function_count(self, image):
+        assert image.total_functions == ImageConfig().total_functions
+        assert len(image.layout.names()) == image.total_functions
+
+    def test_syscall_catalog_has_entries(self, image):
+        assert len(image.syscalls) >= 40
+        for spec in image.syscalls.values():
+            assert spec.entry in image.layout
+            assert image.syscall_by_nr[spec.nr] is spec
+
+    def test_entries_end_with_kret(self, image):
+        for spec in image.syscalls.values():
+            body = image.layout[spec.entry].body
+            assert body[-1].op is Op.KRET
+
+    def test_fops_families_complete(self, image):
+        for kind in FOPS_KINDS:
+            assert set(f.split("_")[-1] for f in image.fops_impls[kind]) \
+                == {"read", "write"}
+
+    def test_fops_pointer_slots_resolve(self, image):
+        for offset, name in image.global_pointer_slots.items():
+            assert name in image.layout
+            assert offset == image.fops_slot_offset(
+                *name.rsplit("_", 1))
+
+    def test_uses_fops_entries_contain_icall(self, image):
+        for spec in image.syscalls.values():
+            body = image.layout[spec.entry].body
+            has_icall = any(op.op is Op.ICALL for op in body)
+            assert has_icall == spec.uses_fops
+
+    def test_roles_partition(self, image):
+        roles = {info.role for info in image.info.values()}
+        assert roles == {"entry", "impl", "leaf", "error", "rare",
+                         "helper", "fops", "driver"}
+
+    def test_driver_tail_unreachable_from_syscalls(self, image):
+        """Driver functions have no incoming direct edges from the
+        syscall-reachable part of the kernel."""
+        reachable_callees = set()
+        for name, info in image.info.items():
+            if info.role != "driver":
+                reachable_callees.update(info.callees)
+        drivers = {n for n, i in image.info.items() if i.role == "driver"}
+        assert not reachable_callees & drivers
+
+    def test_poc_functions_present(self, image):
+        for name in ("ioctl_v1_gadget", "xilinx_usb_poc_gadget",
+                     "active_v2_deref_gadget", "recv_secret_ref_helper",
+                     "finish_task_switch", "recv_deep0", "recv_deep17"):
+            assert name in image.layout
+
+
+class TestDeterminism:
+    def test_same_seed_same_image(self):
+        a = KernelImage(ImageConfig(seed=42, total_functions=620))
+        b = KernelImage(ImageConfig(seed=42, total_functions=620))
+        assert a.layout.names() == b.layout.names()
+        for name in a.layout.names():
+            assert a.layout[name].body == b.layout[name].body
+            assert a.info[name].gadgets == b.info[name].gadgets
+
+    def test_different_seed_different_gadgets(self):
+        a = KernelImage(ImageConfig(seed=1, total_functions=620,
+                                    gadget_total=50, gadget_mds=30,
+                                    gadget_port=15, gadget_cache=5))
+        b = KernelImage(ImageConfig(seed=2, total_functions=620,
+                                    gadget_total=50, gadget_mds=30,
+                                    gadget_port=15, gadget_cache=5))
+        assert set(a.gadget_functions()) != set(b.gadget_functions())
+
+
+class TestGadgetPopulation:
+    def test_exact_counts_per_class(self, image):
+        cfg = image.config
+        assert image.gadget_count() == cfg.gadget_total
+        assert image.gadget_count("mds") == cfg.gadget_mds
+        assert image.gadget_count("port") == cfg.gadget_port
+        assert image.gadget_count("cache") == cfg.gadget_cache
+
+    def test_entries_are_gadget_free(self, image):
+        for spec in image.syscalls.values():
+            assert image.info[spec.entry].gadgets == ()
+
+    def test_hot_loop_leaves_are_gadget_free(self, image):
+        for name in image._gadget_excluded:
+            assert image.info[name].gadgets == ()
+
+    def test_gadget_functions_listing_matches(self, image):
+        listed = set(image.gadget_functions())
+        truth = {n for n, i in image.info.items() if i.gadgets}
+        assert listed == truth
+
+
+class TestRegisterDiscipline:
+    def test_generated_code_never_writes_reserved_registers(self, image):
+        """r0-r2 (args), r10-r15 (environment) must never be written; r4
+        (fops slot) only read.  Violations break syscall dispatch and the
+        attack PoCs in subtle ways."""
+        forbidden = {"r0", "r1", "r2", "r4", "r10", "r11", "r12", "r13",
+                     "r14", "r15"}
+        allowed_writers = {"recv_secret_ref_helper"}  # writes r5 only
+        for func in image.layout.functions():
+            for op in func.body:
+                if op.op in (Op.ALU, Op.LOAD) and op.dst in forbidden:
+                    raise AssertionError(
+                        f"{func.name} writes reserved register {op.dst}")
+
+    def test_branch_targets_in_bounds(self, image):
+        for func in image.layout.functions():
+            for op in func.body:
+                if op.op in (Op.BR, Op.JMP):
+                    assert 0 <= op.target <= len(func.body), func.name
+
+    def test_call_targets_exist(self, image):
+        for func in image.layout.functions():
+            for op in func.body:
+                if op.op is Op.CALL:
+                    assert op.callee in image.layout, \
+                        f"{func.name} calls unknown {op.callee}"
+
+    def test_scratch_registers_are_consistent(self):
+        assert set(WRITABLE_SCRATCH) <= set(SCRATCH)
+        assert "r3" not in WRITABLE_SCRATCH  # loop counter
+        assert "r4" not in WRITABLE_SCRATCH  # fops slot offset
+
+
+class TestCallGraphMetadata:
+    def test_callees_match_body(self, image):
+        for name, info in image.info.items():
+            body_callees = tuple(op.callee
+                                 for op in image.layout[name].body
+                                 if op.op is Op.CALL)
+            assert info.callees == body_callees
+
+    def test_indirect_callees_only_on_fops_entries(self, image):
+        for name, info in image.info.items():
+            if info.indirect_callees:
+                assert image.syscalls[info.syscall].uses_fops
+
+    def test_direct_call_graph_export(self, image):
+        graph = image.direct_call_graph()
+        assert set(graph) == set(image.info)
+        assert graph["sys_read"] == image.info["sys_read"].callees

@@ -1,0 +1,71 @@
+"""Tests for the InvisiSpec comparison scheme (invisible speculation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.base import make_setup
+from repro.attacks.harness import run_attack
+from repro.attacks.spectre_v1 import SpectreV1ActiveAttack
+from repro.cpu.isa import CodeLayout, Function, kret, li, load
+from repro.cpu.memsys import MainMemory
+from repro.cpu.pipeline import ExecutionContext, Pipeline
+from repro.defenses import InvisiSpecPolicy, UnsafePolicy
+from repro.eval.envs import make_env
+from repro.kernel.image import shared_image
+from repro.kernel.kernel import MiniKernel
+from repro.workloads.lebench import build_tests, run_lebench
+
+
+class TestInvisibility:
+    def test_speculative_loads_leave_no_transient_cache_trace(self):
+        """A transient load under InvisiSpec must not warm the line."""
+        kernel = MiniKernel(image=shared_image())
+        setup = make_setup(kernel)
+        kernel.pipeline.set_policy(InvisiSpecPolicy())
+        result = SpectreV1ActiveAttack(setup).run("invisispec")
+        assert result.blocked
+
+    def test_passive_attack_blocked_too(self):
+        kernel = MiniKernel(image=shared_image())
+        setup = make_setup(kernel)
+        kernel.pipeline.set_policy(InvisiSpecPolicy())
+        from repro.attacks.spectre_v2 import SpectreV2PassiveAttack
+        assert SpectreV2PassiveAttack(setup).run("invisispec").blocked
+
+    def test_committed_loads_eventually_fill_cache(self):
+        """Replay at the visibility point installs the line, so repeated
+        architectural access still warms up."""
+        layout = CodeLayout(0x40000, stride_ops=32)
+        func = layout.add(Function("f", [
+            li("r1", 0x100000), load("r2", "r1"), kret()]))
+        pipeline = Pipeline(layout, MainMemory())
+        pipeline.set_policy(InvisiSpecPolicy())
+        pipeline.run(func, ExecutionContext(1))
+        assert pipeline.hierarchy.probe_latency(0x100000) <= 12
+
+    def test_loads_still_return_correct_data(self):
+        layout = CodeLayout(0x40000, stride_ops=32)
+        func = layout.add(Function("f", [
+            li("r1", 0x100000), load("r2", "r1"), kret()]))
+        pipeline = Pipeline(layout, MainMemory())
+        pipeline.memory.store(0x100000, 0x77)
+        pipeline.set_policy(InvisiSpecPolicy())
+        result = pipeline.run(func, ExecutionContext(1))
+        assert result.regs["r2"] == 0x77
+
+
+class TestPerformancePosition:
+    def test_costs_more_than_unsafe_less_than_fence(self):
+        """InvisiSpec sits between the unprotected baseline and FENCE
+        (its paper reports ~7-20% on SPEC; our kernel paths land ~12%)."""
+        exp_schemes = ("unsafe", "invisispec", "fence")
+        from repro.eval.runner import run_lebench_experiment
+        exp = run_lebench_experiment(schemes=exp_schemes)
+        invisi = exp.average_overhead_pct("invisispec")
+        assert 2.0 <= invisi <= 30.0
+        assert invisi < exp.average_overhead_pct("fence")
+
+    def test_matrix_scheme_available(self):
+        env = make_env("lebench", "invisispec")
+        assert env.policy.name == "invisispec"

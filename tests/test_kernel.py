@@ -1,0 +1,164 @@
+"""Integration tests of the MiniKernel: process lifecycle, syscall
+semantics, and resource accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.image import FOPS_KINDS, SECRET_OFF
+from repro.kernel.kernel import MiniKernel, SYSCALL_TRAP_COST
+from repro.kernel.layout import PAGE_SIZE, USER_BASE, direct_map_va
+
+
+class TestProcessLifecycle:
+    def test_create_allocates_core_resources(self, kernel):
+        proc = kernel.create_process("p")
+        assert proc.kernel_stack_va != 0
+        assert len(proc.kernel_stack_frames) == 4
+        assert proc.heap_va != 0
+        assert proc.task_struct_pa != 0
+        assert proc.aspace.user_frame(USER_BASE) is not None
+
+    def test_processes_get_distinct_cgroups(self, kernel):
+        a = kernel.create_process("a")
+        b = kernel.create_process("b")
+        assert a.cgroup.cg_id != b.cgroup.cg_id
+
+    def test_destroy_returns_every_frame(self, kernel):
+        before_free = kernel.buddy.free_frames()
+        before_live = kernel.slab.live_objects()
+        proc = kernel.create_process("p")
+        kernel.syscall(proc, "open", args=(0,))
+        kernel.syscall(proc, "mmap", args=(0, 8 * PAGE_SIZE))
+        kernel.destroy_process(proc)
+        # The warm slab population is intentionally leaked (system-wide
+        # caches); everything else must return.
+        leaked_objects = kernel.slab.live_objects() - before_live
+        assert leaked_objects == kernel.config.slab_warm_objects
+        # Frame leakage is bounded by the warm population's pages.
+        warm_page_bound = kernel.config.slab_warm_objects * 512 \
+            // PAGE_SIZE + 8
+        assert kernel.buddy.free_frames() >= before_free - warm_page_bound
+        assert proc.pid not in kernel.processes
+
+    def test_destroy_is_idempotent(self, kernel, proc):
+        kernel.destroy_process(proc)
+        kernel.destroy_process(proc)  # no raise
+
+    def test_plant_secret_lands_in_heap(self, kernel, proc):
+        va = kernel.plant_secret(proc, b"AB")
+        assert va == proc.heap_va + SECRET_OFF
+        pa = proc.aspace.translate(va)
+        assert kernel.memory.load_bytes(pa, 2) == b"AB"
+
+
+class TestSyscalls:
+    def test_syscall_returns_cycles_with_trap_cost(self, kernel, proc):
+        result = kernel.syscall(proc, "getpid")
+        assert result.cycles > SYSCALL_TRAP_COST
+        assert result.exec_result.committed_ops > 0
+
+    def test_unknown_syscall_raises(self, kernel, proc):
+        with pytest.raises(KeyError):
+            kernel.syscall(proc, "not_a_syscall")
+
+    def test_open_close_fd_lifecycle(self, kernel, proc):
+        fd = kernel.syscall(proc, "open", args=(2,)).retval
+        assert proc.files[fd].fops_kind == FOPS_KINDS[2]
+        live_before = kernel.slab.live_objects()
+        assert kernel.syscall(proc, "close", args=(fd,)).retval == 0
+        assert fd not in proc.files
+        assert kernel.slab.live_objects() < live_before
+
+    def test_close_bad_fd(self, kernel, proc):
+        assert kernel.syscall(proc, "close", args=(999,)).retval == -1
+
+    def test_socket_and_pipe_kinds(self, kernel, proc):
+        sock = kernel.syscall(proc, "socket", args=(0,)).retval
+        assert proc.files[sock].fops_kind == "sock"
+        pipe_fd = kernel.syscall(proc, "pipe").retval
+        assert proc.files[pipe_fd].fops_kind == "pipe"
+        assert proc.files[pipe_fd + 1].fops_kind == "pipe"
+
+    def test_dup_copies_kind(self, kernel, proc):
+        fd = kernel.syscall(proc, "socket", args=(0,)).retval
+        dup = kernel.syscall(proc, "dup", args=(fd,)).retval
+        assert proc.files[dup].fops_kind == "sock"
+
+    def test_mmap_populates_and_munmap_frees(self, kernel, proc):
+        free_before = kernel.buddy.free_frames()
+        va = kernel.syscall(proc, "mmap", args=(0, 4 * PAGE_SIZE)).retval
+        assert kernel.buddy.free_frames() == free_before - 4
+        for i in range(4):
+            proc.aspace.translate(va + i * PAGE_SIZE)  # mapped
+        assert kernel.syscall(proc, "munmap", args=(va,)).retval == 0
+        assert kernel.buddy.free_frames() == free_before
+
+    def test_munmap_of_unmapped_fails(self, kernel, proc):
+        assert kernel.syscall(proc, "munmap", args=(0x123,)).retval == -1
+
+    def test_page_fault_fault_around(self, kernel, proc):
+        va = USER_BASE + (1 << 34)
+        kernel.syscall(proc, "page_fault", args=(va,))
+        for i in range(kernel.FAULT_AROUND_PAGES):
+            proc.aspace.translate(va + i * PAGE_SIZE)
+
+    def test_fork_creates_child_with_page_tables(self, kernel, proc):
+        kernel.syscall(proc, "mmap", args=(0, 32 * PAGE_SIZE))
+        child_pid = kernel.syscall(proc, "fork").retval
+        child = kernel.processes[child_pid]
+        assert child.cgroup is proc.cgroup
+        assert child.pt_frames
+        kernel.destroy_process(child)
+
+    def test_exit_reclaims_process(self, kernel, proc):
+        pid = proc.pid
+        kernel.syscall(proc, "exit")
+        assert pid not in kernel.processes
+
+    def test_fops_register_carries_slot_offset(self, kernel, proc):
+        fd = kernel.syscall(proc, "open", args=(0,)).retval  # ext4
+        result = kernel.syscall(proc, "read", args=(fd, 64))
+        assert result.exec_result is not None
+        # The entry's indirect call dispatched into ext4_read: the tracer
+        # would catch it; here we check the syscall simply completed.
+        assert result.exec_result.committed_ops > 50
+
+    def test_poll_churns_slab(self, kernel, proc):
+        allocs_before = kernel.slab.stats.allocations
+        kernel.syscall(proc, "poll", args=(8,), spin=8)
+        assert kernel.slab.stats.allocations == allocs_before + 1
+        # And it was freed within the call.
+        assert kernel.slab.stats.frees >= 1
+
+    def test_spin_scales_committed_ops(self, kernel, proc):
+        small = kernel.syscall(proc, "poll", args=(4,), spin=4)
+        big = kernel.syscall(proc, "poll", args=(64,), spin=64)
+        assert big.exec_result.committed_ops > \
+            small.exec_result.committed_ops + 300
+
+    def test_global_page_holds_fops_pointers(self, kernel):
+        image = kernel.image
+        for offset, name in image.global_pointer_slots.items():
+            pa = kernel.kmappings.translate(kernel.global_page_va + offset)
+            assert kernel.memory.load(pa) == image.layout[name].base_va
+
+    def test_syscall_counter(self, kernel, proc):
+        before = kernel.syscall_count
+        kernel.syscall(proc, "getpid")
+        kernel.syscall(proc, "getuid")
+        assert kernel.syscall_count == before + 2
+
+
+class TestKernelDeterminism:
+    def test_same_syscall_sequence_same_cycles(self, image):
+        def run_once():
+            kernel = MiniKernel(image=image)
+            proc = kernel.create_process("d")
+            total = 0.0
+            fd = kernel.syscall(proc, "open", args=(0,)).retval
+            for _ in range(5):
+                total += kernel.syscall(proc, "read", args=(fd, 64),
+                                        spin=4).cycles
+            return total
+        assert run_once() == run_once()

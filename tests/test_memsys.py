@@ -1,0 +1,79 @@
+"""Unit tests for main memory, address spaces, and the TLB."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cpu.memsys import TLB, AddressSpace, MainMemory, PageFault
+
+
+class TestMainMemory:
+    def test_store_load_roundtrip(self):
+        mem = MainMemory()
+        mem.store(0x1000, 0xDEADBEEF)
+        assert mem.load(0x1000) == 0xDEADBEEF
+
+    def test_unwritten_reads_are_deterministic(self):
+        a, b = MainMemory(), MainMemory()
+        for addr in (0, 1, 0x1234, 0xFFFF_FFFF):
+            assert a.load(addr) == b.load(addr)
+
+    def test_unwritten_reads_are_bytes(self):
+        mem = MainMemory()
+        assert 0 <= mem.load(0x4242) <= 0xFF
+
+    def test_store_truncates_to_64_bits(self):
+        mem = MainMemory()
+        mem.store(0, 1 << 80)
+        assert mem.load(0) == 0
+
+    @given(st.binary(min_size=1, max_size=64),
+           st.integers(min_value=0, max_value=1 << 30))
+    def test_bytes_roundtrip(self, data, addr):
+        mem = MainMemory()
+        mem.store_bytes(addr, data)
+        assert mem.load_bytes(addr, len(data)) == data
+
+    def test_len_counts_written_locations(self):
+        mem = MainMemory()
+        assert len(mem) == 0
+        mem.store_bytes(0, b"abc")
+        assert len(mem) == 3
+
+
+class TestAddressSpace:
+    def test_default_is_identity(self):
+        assert AddressSpace().translate(0x1234) == 0x1234
+
+    def test_page_fault_carries_va(self):
+        fault = PageFault(0xABC)
+        assert fault.va == 0xABC
+        assert "0xabc" in str(fault)
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        tlb = TLB(entries=4, miss_penalty=20)
+        assert tlb.access(0x1000) == 20
+        assert tlb.access(0x1000) == 0
+        assert tlb.access(0x1FFF) == 0  # same page
+
+    def test_capacity_eviction(self):
+        tlb = TLB(entries=2, miss_penalty=20)
+        tlb.access(0x1000)
+        tlb.access(0x2000)
+        tlb.access(0x3000)  # evicts page of 0x1000 (LRU)
+        assert tlb.access(0x1000) == 20
+
+    def test_flush(self):
+        tlb = TLB()
+        tlb.access(0x1000)
+        tlb.flush()
+        assert tlb.access(0x1000) == 20
+
+    def test_hit_rate_stat(self):
+        tlb = TLB()
+        tlb.access(0x1000)
+        tlb.access(0x1000)
+        assert tlb.stats.hit_rate == pytest.approx(0.5)

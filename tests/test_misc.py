@@ -1,0 +1,158 @@
+"""Coverage for smaller pieces: overlay layouts, result accounting,
+rare-path plumbing, resume-with-call-stack, and attack result types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.base import AttackResult
+from repro.cpu.isa import (
+    AluOp,
+    CodeLayout,
+    Function,
+    alu,
+    kret,
+    li,
+    nop,
+    ret,
+)
+from repro.cpu.memsys import MainMemory
+from repro.cpu.pipeline import ExecResult, ExecutionContext, Pipeline
+from repro.kernel.image import RARE_PATH_MAGIC
+
+
+class TestOverlayCodeLayout:
+    def _base(self):
+        layout = CodeLayout(0x40000, stride_ops=16)
+        layout.add(Function("base_fn", [nop(), ret()]))
+        return layout
+
+    def test_overlay_sees_base_functions(self):
+        overlay = self._base().overlay()
+        assert "base_fn" in overlay
+        assert overlay["base_fn"].name == "base_fn"
+
+    def test_additions_stay_local(self):
+        base = self._base()
+        overlay = base.overlay()
+        overlay.add(Function("jit_fn", [ret()]))
+        assert "jit_fn" in overlay
+        assert "jit_fn" not in base
+        assert overlay.local_names() == ["jit_fn"]
+
+    def test_two_overlays_are_independent(self):
+        base = self._base()
+        a, b = base.overlay(), base.overlay()
+        a.add(Function("only_a", [ret()]))
+        assert "only_a" not in b
+
+    def test_overlay_region_above_base(self):
+        base = self._base()
+        overlay = base.overlay()
+        func = overlay.add(Function("jit_fn", [ret()]))
+        assert func.base_va >= overlay.overlay_base > base.text_end
+
+    def test_resolve_dispatches_by_range(self):
+        base = self._base()
+        overlay = base.overlay()
+        jit = overlay.add(Function("jit_fn", [nop(), ret()]))
+        assert overlay.resolve_va(jit.va_of(1)) == (jit, 1)
+        base_fn = base["base_fn"]
+        assert overlay.resolve_va(base_fn.va_of(0)) == (base_fn, 0)
+
+    def test_shadowing_base_names_rejected(self):
+        overlay = self._base().overlay()
+        with pytest.raises(ValueError, match="already exists"):
+            overlay.add(Function("base_fn", [ret()]))
+
+    def test_names_include_both(self):
+        overlay = self._base().overlay()
+        overlay.add(Function("jit_fn", [ret()]))
+        assert set(overlay.names()) == {"base_fn", "jit_fn"}
+        assert len(overlay.functions()) == 2
+
+
+class TestExecResultAccounting:
+    def test_merge_sums_everything(self):
+        a = ExecResult(cycles=10, committed_ops=100, transient_ops=5,
+                       loads=20, speculative_loads=8,
+                       fenced_loads={"isv": 2}, mispredictions=1,
+                       cfi_suppressions=1)
+        b = ExecResult(cycles=5, committed_ops=50, loads=10,
+                       fenced_loads={"isv": 1, "dsv": 3})
+        a.merge(b)
+        assert a.cycles == 15
+        assert a.committed_ops == 150
+        assert a.fenced_loads == {"isv": 3, "dsv": 3}
+        assert a.cfi_suppressions == 1
+
+    def test_fences_per_kiloinstruction(self):
+        result = ExecResult(committed_ops=2000,
+                            fenced_loads={"dsv": 10})
+        assert result.fences_per_kiloinstruction == pytest.approx(5.0)
+        assert ExecResult().fences_per_kiloinstruction == 0.0
+
+
+class TestAttackResultSemantics:
+    def test_success_requires_exact_match(self):
+        good = AttackResult("a", "s", secret=b"AB", leaked=b"AB")
+        assert good.success and not good.blocked
+        partial = AttackResult("a", "s", secret=b"AB", leaked=b"A",
+                               unrecovered=1)
+        assert partial.blocked
+        wrong = AttackResult("a", "s", secret=b"AB", leaked=b"XY")
+        assert wrong.blocked
+
+
+class TestRarePathPlumbing:
+    def test_magic_argument_reaches_rare_function(self, kernel, proc):
+        kernel.tracer.start()
+        kernel.syscall(proc, "read", args=(3, RARE_PATH_MAGIC, 0))
+        kernel.tracer.stop()
+        traced = kernel.tracer.traced_functions(proc.cgroup.cg_id)
+        assert "read_rare_path" in traced
+
+    def test_normal_arguments_skip_rare_function(self, kernel, proc):
+        kernel.tracer.start()
+        kernel.syscall(proc, "read", args=(3, 64, 0))
+        kernel.tracer.stop()
+        traced = kernel.tracer.traced_functions(proc.cgroup.cg_id)
+        assert "read_rare_path" not in traced
+
+
+class TestResumeWithCallStack:
+    def test_resume_starts_mid_function_and_returns(self):
+        layout = CodeLayout(0x40000, stride_ops=32)
+        resume = layout.add(Function("resume", [
+            alu("r5", AluOp.ADD, "r5", imm=1), ret()]))
+        caller = layout.add(Function("caller", [
+            nop(), li("r6", 0xAA), kret()]))
+        pipeline = Pipeline(layout, MainMemory())
+        result = pipeline.run(
+            resume, ExecutionContext(1, initial_regs={"r5": 1}),
+            start_index=1,  # start at the RET: the switch-in path
+            initial_call_stack=[(caller, 1)])
+        # The RET returned into caller at index 1, which ran to KRET.
+        assert result.regs["r6"] == 0xAA
+        # start_index=1 skipped the increment.
+        assert result.regs["r5"] == 1
+
+
+class TestFigureRenderers:
+    def test_figure_9_1_renders(self):
+        from repro.eval.figures import figure_9_1
+        from repro.eval.runner import KasperExperiment
+        exp = KasperExperiment(speedups={"httpd": 1.5, "redis": 2.0})
+        text = figure_9_1(exp)
+        assert "httpd" in text and "1.50x" in text
+        assert "average" in text
+
+    def test_figure_9_3_renders(self):
+        from repro.eval.figures import figure_9_3
+        from repro.eval.runner import AppsExperiment
+        exp = AppsExperiment(schemes=("unsafe", "fence"))
+        exp.total_cycles_per_request["httpd"] = {
+            "unsafe": 1000.0, "fence": 1100.0}
+        text = figure_9_3(exp)
+        assert "httpd" in text
+        assert "0.909" in text  # 1000/1100 normalized rps

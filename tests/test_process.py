@@ -1,0 +1,109 @@
+"""Tests for cgroups, processes, and address spaces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.memsys import PageFault
+from repro.kernel.cgroup import CgroupRegistry, KERNEL_CGROUP_ID
+from repro.kernel.layout import (
+    DIRECT_MAP_BASE,
+    KERNEL_TEXT_BASE,
+    PAGE_SIZE,
+    USER_BASE,
+    direct_map_pa,
+    direct_map_va,
+)
+from repro.kernel.process import KernelMappings, ProcessAddressSpace
+
+
+class TestCgroups:
+    def test_kernel_cgroup_preallocated(self):
+        reg = CgroupRegistry()
+        assert reg.get(KERNEL_CGROUP_ID).name == "kernel"
+
+    def test_ids_are_unique_and_dense(self):
+        reg = CgroupRegistry()
+        a, b = reg.create("a"), reg.create("b")
+        assert a.cg_id != b.cg_id
+        assert reg.get(a.cg_id) is a
+        assert reg.by_name("b") is b
+
+    def test_duplicate_names_rejected(self):
+        reg = CgroupRegistry()
+        reg.create("x")
+        with pytest.raises(ValueError):
+            reg.create("x")
+
+    def test_len_and_all(self):
+        reg = CgroupRegistry()
+        reg.create("x")
+        assert len(reg) == 2  # kernel + x
+        assert {cg.name for cg in reg.all()} == {"kernel", "x"}
+
+
+class TestAddressTranslation:
+    def test_direct_map_is_linear(self):
+        aspace = ProcessAddressSpace(KernelMappings())
+        pa = 0x1234 * PAGE_SIZE + 0x10
+        assert aspace.translate(direct_map_va(pa)) == pa
+        assert direct_map_pa(DIRECT_MAP_BASE + 5) == 5
+
+    def test_kernel_text_backed_by_boot_frames(self):
+        aspace = ProcessAddressSpace(KernelMappings())
+        assert aspace.translate(KERNEL_TEXT_BASE) == 0
+        assert aspace.translate(KERNEL_TEXT_BASE + 0x100) == 0x100
+
+    def test_user_mapping_roundtrip(self):
+        aspace = ProcessAddressSpace(KernelMappings())
+        aspace.map_user(USER_BASE, 100)
+        assert aspace.translate(USER_BASE) == 100 * PAGE_SIZE
+        assert aspace.translate(USER_BASE + 5) == 100 * PAGE_SIZE + 5
+
+    def test_unmapped_user_address_faults(self):
+        aspace = ProcessAddressSpace(KernelMappings())
+        with pytest.raises(PageFault):
+            aspace.translate(USER_BASE + (1 << 20))
+
+    def test_unmap_user(self):
+        aspace = ProcessAddressSpace(KernelMappings())
+        aspace.map_user(USER_BASE, 7)
+        assert aspace.unmap_user(USER_BASE) == 7
+        with pytest.raises(PageFault):
+            aspace.translate(USER_BASE)
+
+    def test_unmap_unmapped_raises(self):
+        aspace = ProcessAddressSpace(KernelMappings())
+        with pytest.raises(PageFault):
+            aspace.unmap_user(USER_BASE)
+
+    def test_user_tables_are_private(self):
+        shared = KernelMappings()
+        a = ProcessAddressSpace(shared)
+        b = ProcessAddressSpace(shared)
+        a.map_user(USER_BASE, 1)
+        with pytest.raises(PageFault):
+            b.translate(USER_BASE)
+
+    def test_vmalloc_shared_across_processes(self):
+        shared = KernelMappings()
+        va = shared.vmalloc_map(55)
+        a = ProcessAddressSpace(shared)
+        b = ProcessAddressSpace(shared)
+        assert a.translate(va) == 55 * PAGE_SIZE
+        assert b.translate(va) == 55 * PAGE_SIZE
+
+    def test_vmalloc_unmap(self):
+        shared = KernelMappings()
+        va = shared.vmalloc_map(55)
+        assert shared.vmalloc_unmap(va) == 55
+        aspace = ProcessAddressSpace(shared)
+        with pytest.raises(PageFault):
+            aspace.translate(va)
+
+    def test_user_pages_count(self):
+        aspace = ProcessAddressSpace(KernelMappings())
+        assert aspace.user_pages() == 0
+        aspace.map_user(USER_BASE, 1)
+        aspace.map_user(USER_BASE + PAGE_SIZE, 2)
+        assert aspace.user_pages() == 2

@@ -1,0 +1,108 @@
+"""Tests for ISV profile serialization and installation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.profiles import (
+    ISVProfile,
+    ProfileError,
+    image_fingerprint,
+)
+from repro.core.views import InstructionSpeculationView
+from repro.kernel.image import ImageConfig, KernelImage
+
+
+def small_image(seed=1):
+    return KernelImage(ImageConfig(seed=seed, total_functions=620,
+                                   gadget_total=10, gadget_mds=5,
+                                   gadget_port=3, gadget_cache=2))
+
+
+@pytest.fixture(scope="module")
+def little():
+    return small_image()
+
+
+def make_profile(image, names=None, app="httpd"):
+    names = names if names is not None else frozenset(
+        list(image.info)[:10])
+    isv = InstructionSpeculationView(1, frozenset(names), image.layout,
+                                     source="dynamic")
+    return ISVProfile.from_isv(app, isv, image,
+                               syscalls=frozenset({"read", "write"}))
+
+
+class TestFingerprint:
+    def test_stable_across_rebuilds(self):
+        assert image_fingerprint(small_image()) == \
+            image_fingerprint(small_image())
+
+    def test_differs_across_seeds(self):
+        assert image_fingerprint(small_image(1)) != \
+            image_fingerprint(small_image(2))
+
+
+class TestRoundtrip:
+    def test_json_roundtrip_preserves_everything(self, little):
+        profile = make_profile(little)
+        restored = ISVProfile.from_json(profile.to_json())
+        assert restored == profile
+
+    def test_to_isv_installs_against_matching_image(self, little):
+        profile = make_profile(little)
+        isv = profile.to_isv(7, little)
+        assert isv.context_id == 7
+        assert isv.functions == profile.functions
+        assert isv.source == "dynamic"
+
+    def test_json_is_deterministic(self, little):
+        profile = make_profile(little)
+        assert profile.to_json() == profile.to_json()
+
+
+class TestValidation:
+    def test_wrong_image_rejected_in_strict_mode(self, little):
+        profile = make_profile(little)
+        other = small_image(seed=2)
+        with pytest.raises(ProfileError, match="different kernel image"):
+            profile.to_isv(1, other)
+
+    def test_nonstrict_drops_unknown_functions(self, little):
+        other = small_image(seed=2)
+        shared = [n for n in little.info if n in other.info][:5]
+        profile = ISVProfile(
+            app="x", source="dynamic",
+            functions=frozenset(shared) | {"sys_getpid"},
+            fingerprint="stale")
+        isv = profile.to_isv(1, other, strict=False)
+        assert isv.functions <= frozenset(other.info)
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ProfileError, match="not valid JSON"):
+            ISVProfile.from_json("{nope")
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ProfileError, match="format"):
+            ISVProfile.from_json('{"format": 99}')
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ProfileError, match="missing field"):
+            ISVProfile.from_json('{"format": 1, "app": "x"}')
+
+
+class TestDeploymentFlow:
+    def test_profile_built_on_one_host_installs_on_another(self, image):
+        """Offline profiling host -> production host, same image."""
+        from repro.eval.envs import build_isv_for
+        from repro.kernel.kernel import MiniKernel
+        build_host = MiniKernel(image=image)
+        proc = build_host.create_process("redis")
+        isv = build_isv_for(build_host, proc, "redis", "dynamic")
+        wire = ISVProfile.from_isv("redis", isv, image).to_json()
+
+        prod_host = MiniKernel(image=image)
+        prod_proc = prod_host.create_process("redis")
+        restored = ISVProfile.from_json(wire).to_isv(
+            prod_proc.cgroup.cg_id, image)
+        assert restored.functions == isv.functions

@@ -1,0 +1,138 @@
+"""Cross-cutting property-based tests (hypothesis)."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.attacks.covert import CovertChannel
+from repro.cpu.isa import AluOp, CodeLayout, Function, alu, kret, li, load, ret
+from repro.cpu.memsys import MainMemory
+from repro.cpu.pipeline import ExecutionContext, Pipeline
+from repro.kernel.ebpf import BPFProgram, BPFVerifier, MAP_SIZE, \
+    VerifierError
+from repro.kernel.image import ImageConfig, KernelImage
+from repro.kernel.image import PROBE_ARRAY_OFF
+from repro.kernel.kernel import MiniKernel
+
+U64 = (1 << 64) - 1
+
+
+def _oracle(op: AluOp, a: int, b: int) -> int:
+    return {
+        AluOp.ADD: a + b,
+        AluOp.SUB: a - b,
+        AluOp.AND: a & b,
+        AluOp.OR: a | b,
+        AluOp.XOR: a ^ b,
+        AluOp.SHL: a << (b & 63),
+        AluOp.SHR: a >> (b & 63),
+        AluOp.MUL: a * b,
+        AluOp.CMPLT: 1 if a < b else 0,
+        AluOp.CMPLTU: 1 if (a & U64) < (b & U64) else 0,
+        AluOp.CMPEQ: 1 if a == b else 0,
+    }[op]
+
+
+class TestALUSemantics:
+    @given(st.sampled_from([AluOp.ADD, AluOp.SUB, AluOp.AND, AluOp.OR,
+                            AluOp.XOR, AluOp.SHL, AluOp.SHR, AluOp.MUL,
+                            AluOp.CMPLT, AluOp.CMPLTU, AluOp.CMPEQ]),
+           st.integers(min_value=-(1 << 40), max_value=1 << 40),
+           st.integers(min_value=-(1 << 20), max_value=1 << 20))
+    @settings(max_examples=150, deadline=None)
+    def test_pipeline_matches_oracle(self, op, a, b):
+        layout = CodeLayout(0x40000, stride_ops=16)
+        func = layout.add(Function("f", [
+            li("r1", a), li("r2", b),
+            alu("r3", op, "r1", "r2"),
+            kret(),
+        ]))
+        pipeline = Pipeline(layout, MainMemory())
+        result = pipeline.run(func, ExecutionContext(1))
+        assert result.regs["r3"] == _oracle(op, a, b)
+
+
+class TestImageGenerationProperties:
+    @given(st.integers(min_value=0, max_value=1 << 30))
+    @settings(max_examples=8, deadline=None)
+    def test_small_images_always_wellformed(self, seed):
+        config = ImageConfig(seed=seed, total_functions=620,
+                             gadget_total=40, gadget_mds=20,
+                             gadget_port=12, gadget_cache=8)
+        image = KernelImage(config)
+        assert image.total_functions == 620
+        assert image.gadget_count() == 40
+        # Every branch/jump target in bounds, every call resolvable.
+        for func in image.layout.functions():
+            for op in func.body:
+                if op.target >= 0:
+                    assert 0 <= op.target <= len(func.body)
+                if op.callee is not None:
+                    assert op.callee in image.layout
+
+
+class TestCovertChannelProperties:
+    @given(st.integers(min_value=0, max_value=255))
+    @settings(max_examples=25, deadline=None)
+    def test_any_byte_value_transmits(self, value, ):
+        """A transient touch of probe line N is always recovered as N."""
+        kernel = MiniKernel.__new__(MiniKernel)  # avoid full boot per case
+        # Full boot is cheap enough relative to hypothesis' budget:
+        from repro.kernel.image import shared_image
+        kernel = MiniKernel(image=shared_image())
+        proc = kernel.create_process("p")
+        channel = CovertChannel(kernel, proc)
+        channel.flush()
+        pa = proc.aspace.translate(
+            proc.heap_va + PROBE_ARRAY_OFF + value * 64)
+        kernel.hierarchy.access_data(pa)
+        hits = channel.reload().hit_lines()
+        assert hits == frozenset({value})
+
+
+def _random_safe_program(rng: random.Random) -> BPFProgram:
+    """A generator of always-verifiable programs: masked indexing only."""
+    body = []
+    for _ in range(rng.randint(1, 6)):
+        choice = rng.random()
+        if choice < 0.4:
+            body.append(alu("r5", AluOp.AND, "r0", imm=MAP_SIZE - 1))
+            body.append(alu("r7", AluOp.ADD, "r15", "r5"))
+            body.append(load("r6", "r7"))
+        elif choice < 0.7:
+            body.append(load("r8", "r15",
+                             imm=rng.randrange(0, MAP_SIZE, 8)))
+        else:
+            body.append(alu("r9", AluOp.XOR, "r6", imm=rng.randrange(255)))
+    body.append(ret())
+    return BPFProgram("gen", body)
+
+
+class TestVerifierProperties:
+    @given(st.integers(min_value=0, max_value=1 << 30))
+    @settings(max_examples=40, deadline=None)
+    def test_masked_programs_always_verify(self, seed):
+        program = _random_safe_program(random.Random(seed))
+        BPFVerifier(speculation_safe=True).verify(program)
+
+    @given(st.integers(min_value=0, max_value=1 << 30))
+    @settings(max_examples=40, deadline=None)
+    def test_fixed_verifier_is_stricter(self, seed):
+        """Anything the fixed verifier accepts, the buggy one accepts too
+        (the fix only removes proofs, it never adds them)."""
+        program = _random_safe_program(random.Random(seed))
+        BPFVerifier(speculation_safe=True).verify(program)
+        BPFVerifier(speculation_safe=False).verify(program)
+
+    @given(st.integers(min_value=MAP_SIZE, max_value=1 << 20))
+    @settings(max_examples=20, deadline=None)
+    def test_out_of_map_constants_always_rejected(self, offset):
+        program = BPFProgram("t", [load("r5", "r15", imm=offset), ret()])
+        for safe in (True, False):
+            try:
+                BPFVerifier(speculation_safe=safe).verify(program)
+                raise AssertionError("out-of-map constant accepted")
+            except VerifierError:
+                pass

@@ -1,0 +1,47 @@
+"""Tests for the report/rendering layer (cheap subsets only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.report import EvaluationArtifacts, security_matrix_text
+from repro.eval.tables import table_10_1, table_8_2
+from repro.eval.runner import run_breakdown_experiment, \
+    run_gadget_experiment
+
+
+class TestArtifacts:
+    def test_render_joins_sections(self):
+        artifacts = EvaluationArtifacts()
+        artifacts.sections["Alpha"] = "aaa"
+        artifacts.sections["Beta"] = "bbb"
+        text = artifacts.render()
+        assert "Alpha" in text and "Beta" in text
+        assert text.index("Alpha") < text.index("Beta")
+        assert "aaa" in text
+
+
+class TestSecurityMatrixText:
+    def test_single_scheme_matrix(self):
+        text = security_matrix_text(schemes=("unsafe",))
+        assert "spectre-v1-active" in text
+        assert "LEAKED" in text
+        # The eIBRS control is the only blocked row on unsafe hardware.
+        control_line = next(line for line in text.splitlines()
+                            if "spectre-v2-vs-eibrs" in line)
+        assert "blocked" in control_line
+
+
+class TestTableRenderers:
+    def test_table_8_2_mentions_scale_note(self):
+        exp = run_gadget_experiment(apps=("httpd",))
+        text = table_8_2(exp)
+        assert "paper scale 1533" in text
+        assert "100%" in text  # the ISV++ column
+
+    def test_table_10_1_reports_rates(self):
+        exp = run_breakdown_experiment(workloads=("httpd",),
+                                       schemes=("perspective",))
+        text = table_10_1(exp)
+        assert "fence rates /kiloinstruction" in text
+        assert "httpd" in text

@@ -1,0 +1,155 @@
+"""Tests for the Kasper-like gadget scanner and fuzzing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.isa import AluOp, Function, alu, load, ret
+from repro.scanner.fuzzer import run_campaign
+from repro.scanner.kasper import discovery_speedup, scan
+from repro.scanner.taint import analyze_function
+
+
+def chain(body_ops) -> Function:
+    return Function("probe", list(body_ops) + [ret()])
+
+
+class TestTaintAnalysis:
+    def test_access_transmit_chain_detected(self):
+        func = chain([
+            alu("r7", AluOp.ADD, "r15", "r0"),  # attacker-indexed address
+            load("r8", "r7"),                    # access
+            alu("r9", AluOp.SHL, "r8", imm=6),
+            load("r5", "r9"),                    # transmit
+        ])
+        findings = analyze_function(func)
+        assert len(findings) == 1
+        assert findings[0].access_index == 1
+        assert findings[0].transmit_index == 3
+
+    def test_benign_loads_not_flagged(self):
+        func = chain([
+            load("r8", "r13", imm=64),   # untainted base
+            alu("r9", AluOp.ADD, "r8", imm=8),
+            load("r5", "r13", imm=128),  # still untainted
+        ])
+        assert analyze_function(func) == []
+
+    def test_access_without_transmit_not_flagged(self):
+        func = chain([
+            alu("r7", AluOp.ADD, "r15", "r0"),
+            load("r8", "r7"),  # access, but its value never addresses
+            alu("r9", AluOp.ADD, "r8", imm=1),
+        ])
+        assert analyze_function(func) == []
+
+    def test_overwrite_clears_taint(self):
+        func = chain([
+            alu("r0", AluOp.MOV, "r13"),  # r0 overwritten by trusted value
+            alu("r7", AluOp.ADD, "r15", "r0"),
+            load("r8", "r7"),
+            alu("r9", AluOp.SHL, "r8", imm=6),
+            load("r5", "r9"),
+        ])
+        assert analyze_function(func) == []
+
+    def test_type_confusion_seed_r5(self):
+        """Kasper's speculative-type-confusion class: r5 (live pointer)
+        is attacker-influenceable via control-flow hijack."""
+        func = chain([
+            load("r6", "r5"),
+            alu("r7", AluOp.SHL, "r6", imm=6),
+            load("r8", "r7"),
+        ])
+        assert len(analyze_function(func)) == 1
+
+    def test_multiple_chains_all_found(self):
+        pattern = [
+            alu("r7", AluOp.ADD, "r15", "r0"),
+            load("r8", "r7"),
+            alu("r9", AluOp.SHL, "r8", imm=6),
+            load("r8", "r9"),
+        ]
+        func = chain(pattern * 3)
+        assert len(analyze_function(func)) == 3
+
+    def test_class_labels_applied_in_order(self):
+        pattern = [
+            alu("r7", AluOp.ADD, "r15", "r0"),
+            load("r8", "r7"),
+            alu("r9", AluOp.SHL, "r8", imm=6),
+            load("r8", "r9"),
+        ]
+        func = chain(pattern * 2)
+        findings = analyze_function(func, gadget_classes=("mds", "port"))
+        assert [f.gadget_class for f in findings] == ["mds", "port"]
+
+
+class TestFullImageScan:
+    def test_finds_exactly_the_planted_population(self, image):
+        report = scan(image)
+        assert report.count() == image.gadget_count()
+        assert report.by_class() == {
+            "mds": image.gadget_count("mds"),
+            "port": image.gadget_count("port"),
+            "cache": image.gadget_count("cache")}
+
+    def test_flagged_functions_match_ground_truth(self, image):
+        report = scan(image)
+        assert report.functions() == frozenset(image.gadget_functions())
+
+    def test_scoped_scan_restricts(self, image):
+        some = frozenset(list(image.gadget_functions())[:5])
+        report = scan(image, scope=some)
+        assert report.functions() <= some
+        assert report.count() >= 5
+
+    def test_blocked_fraction_bounds(self, image):
+        report = scan(image)
+        everything = frozenset(image.info)
+        assert report.blocked_fraction(everything) == 0.0
+        assert report.blocked_fraction(frozenset()) == 1.0
+
+
+class TestFuzzer:
+    def test_campaign_deterministic_per_seed(self, image):
+        a = run_campaign(image, hours=1.0, seed=3)
+        b = run_campaign(image, hours=1.0, seed=3)
+        assert a.gadgets_found == b.gadgets_found
+        assert a.rounds == b.rounds
+
+    def test_budget_respected(self, image):
+        campaign = run_campaign(image, hours=0.5, seed=1)
+        assert campaign.hours == pytest.approx(0.5, rel=0.1)
+
+    def test_bounded_scope_covers_only_scope(self, image):
+        scope = frozenset(list(image.info)[:50])
+        campaign = run_campaign(image, scope=scope, hours=2.0, seed=1)
+        assert campaign.scope_size == 50
+        assert campaign.functions_covered <= 50
+
+    def test_empty_scope_finds_nothing(self, image):
+        campaign = run_campaign(image, scope=frozenset(), hours=1.0)
+        assert campaign.gadgets_found == 0
+
+    def test_longer_campaigns_find_at_least_as_much(self, image):
+        short = run_campaign(image, hours=0.5, seed=9)
+        long = run_campaign(image, hours=4.0, seed=9)
+        assert long.gadgets_found >= short.gadgets_found
+
+    def test_history_is_monotonic(self, image):
+        campaign = run_campaign(image, hours=2.0, seed=5)
+        counts = [found for _, found in campaign.history]
+        assert counts == sorted(counts)
+
+
+class TestDiscoverySpeedup:
+    def test_isv_bounding_speeds_discovery(self, image, kernel):
+        """Figure 9.1's core claim, at reduced seed count for test speed."""
+        from repro.eval.envs import build_isv_for
+        proc = kernel.create_process("httpd")
+        isv = build_isv_for(kernel, proc, "httpd", "dynamic")
+        result = discovery_speedup(image, "httpd", isv.functions,
+                                   hours=35.0, seed=11, n_seeds=8)
+        assert result.speedup > 1.0
+        assert result.bounded_rate > result.unbounded_rate

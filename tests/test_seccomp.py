@@ -1,0 +1,105 @@
+"""Tests for seccomp-style syscall interposition."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel.seccomp import (
+    Action,
+    ArgCheck,
+    ArgCmp,
+    FilterRule,
+    SeccompFilter,
+    SeccompViolation,
+)
+
+
+class TestArgChecks:
+    @pytest.mark.parametrize("cmp,value,arg,expected", [
+        (ArgCmp.EQ, 5, 5, True),
+        (ArgCmp.EQ, 5, 6, False),
+        (ArgCmp.NE, 5, 6, True),
+        (ArgCmp.LT, 5, 4, True),
+        (ArgCmp.LE, 5, 5, True),
+        (ArgCmp.GT, 5, 6, True),
+        (ArgCmp.GE, 5, 5, True),
+        (ArgCmp.GE, 5, 4, False),
+    ])
+    def test_comparisons(self, cmp, value, arg, expected):
+        check = ArgCheck(index=0, cmp=cmp, value=value)
+        assert check.matches((arg,)) is expected
+
+    def test_masked_eq(self):
+        check = ArgCheck(index=0, cmp=ArgCmp.MASKED_EQ, value=0x4,
+                         mask=0xC)
+        assert check.matches((0x5,))  # 0x5 & 0xC == 0x4
+        assert not check.matches((0x9,))
+
+    def test_missing_argument_never_matches(self):
+        check = ArgCheck(index=3, cmp=ArgCmp.EQ, value=0)
+        assert not check.matches((1, 2))
+
+
+class TestFilters:
+    def test_first_matching_rule_wins(self):
+        filt = SeccompFilter(rules=[
+            FilterRule("read", Action.ERRNO,
+                       (ArgCheck(0, ArgCmp.GT, 100),)),
+            FilterRule("read", Action.ALLOW),
+        ])
+        assert filt.evaluate("read", (5,)) is Action.ALLOW
+        assert filt.evaluate("read", (500,)) is Action.ERRNO
+
+    def test_default_action_applies(self):
+        filt = SeccompFilter(default_action=Action.KILL)
+        assert filt.evaluate("write", ()) is Action.KILL
+
+    def test_allow_list_constructor(self):
+        filt = SeccompFilter.allow_list({"read", "write"})
+        assert filt.evaluate("read", ()) is Action.ALLOW
+        assert filt.evaluate("open", ()) is Action.ERRNO
+        assert filt.allowed_syscalls() == frozenset({"read", "write"})
+
+    @given(st.sets(st.sampled_from(
+        ["read", "write", "open", "close", "mmap", "poll"]), min_size=1))
+    def test_allow_list_is_exact(self, allowed):
+        filt = SeccompFilter.allow_list(allowed)
+        universe = {"read", "write", "open", "close", "mmap", "poll",
+                    "fork"}
+        for name in universe:
+            expected = Action.ALLOW if name in allowed else Action.ERRNO
+            assert filt.evaluate(name, ()) is expected
+
+
+class TestKernelEnforcement:
+    def test_errno_denies_without_running_kernel_code(self, kernel, proc):
+        kernel.install_seccomp(proc, SeccompFilter.allow_list({"getpid"}))
+        result = kernel.syscall(proc, "open", args=(0,))
+        assert result.denied
+        assert result.retval == -1
+        assert result.exec_result is None
+
+    def test_allowed_syscall_proceeds(self, kernel, proc):
+        kernel.install_seccomp(proc, SeccompFilter.allow_list({"getpid"}))
+        result = kernel.syscall(proc, "getpid")
+        assert not result.denied
+        assert result.exec_result is not None
+
+    def test_kill_terminates_process(self, kernel, proc):
+        filt = SeccompFilter(default_action=Action.KILL)
+        kernel.install_seccomp(proc, filt)
+        with pytest.raises(SeccompViolation):
+            kernel.syscall(proc, "open", args=(0,))
+        assert proc.pid not in kernel.processes
+
+    def test_argument_filter_on_fd(self, kernel, proc):
+        """Block writes to fds above 10 (a typical hardening rule)."""
+        filt = SeccompFilter(rules=[
+            FilterRule("write", Action.ERRNO,
+                       (ArgCheck(0, ArgCmp.GT, 10),)),
+            FilterRule("write", Action.ALLOW),
+        ], default_action=Action.ALLOW)
+        kernel.install_seccomp(proc, filt)
+        assert not kernel.syscall(proc, "write", args=(3, 64)).denied
+        assert kernel.syscall(proc, "write", args=(99, 64)).denied

@@ -1,0 +1,50 @@
+"""Tests for the parameter sweeps: the model must respond in the
+physically sensible direction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.sweeps import (
+    sweep_branch_resolve_latency,
+    sweep_rob_entries,
+)
+
+
+class TestResolveLatencySweep:
+    @pytest.fixture(scope="class")
+    def fence(self):
+        return sweep_branch_resolve_latency(values=(4.0, 12.0, 20.0))
+
+    def test_fence_cost_grows_with_window(self, fence):
+        """Longer speculation windows mean longer waits at the visibility
+        point: FENCE must get monotonically worse."""
+        over = [fence.overhead_pct[v] for v in fence.values()]
+        assert over[0] < over[1] < over[2]
+
+    def test_perspective_barely_responds(self):
+        """Perspective fences are rare, so the window length moves it far
+        less than FENCE."""
+        perspective = sweep_branch_resolve_latency(
+            values=(4.0, 20.0), scheme="perspective")
+        fence = sweep_branch_resolve_latency(values=(4.0, 20.0))
+        p_delta = perspective.overhead_pct[20.0] - \
+            perspective.overhead_pct[4.0]
+        f_delta = fence.overhead_pct[20.0] - fence.overhead_pct[4.0]
+        assert p_delta < f_delta / 3
+
+    def test_render(self, fence):
+        text = fence.render()
+        assert "branch_resolve_latency" in text and "fence" in text
+
+
+class TestROBSweep:
+    def test_relative_overhead_saturates_with_depth(self):
+        """A deeper ROB helps the *unsafe* baseline (more miss overlap)
+        more than FENCE, whose chains are data-limited rather than
+        window-limited -- so the overhead ratio grows a little with depth
+        and then saturates once the window covers the dependence chains."""
+        sweep = sweep_rob_entries(values=(48, 192, 384))
+        assert sweep.overhead_pct[48] < sweep.overhead_pct[192]
+        assert sweep.overhead_pct[384] == pytest.approx(
+            sweep.overhead_pct[192], abs=2.0)

@@ -1,0 +1,69 @@
+"""Tests for the kernel tracing subsystem (dynamic ISV source)."""
+
+from __future__ import annotations
+
+
+class TestTracer:
+    def test_disabled_by_default(self, kernel, proc):
+        kernel.syscall(proc, "getpid")
+        assert kernel.tracer.traced_functions(proc.cgroup.cg_id) == \
+            frozenset()
+
+    def test_records_functions_when_enabled(self, kernel, proc):
+        kernel.tracer.start()
+        kernel.syscall(proc, "getpid")
+        kernel.tracer.stop()
+        traced = kernel.tracer.traced_functions(proc.cgroup.cg_id)
+        assert "sys_getpid" in traced
+        assert any(name.startswith("getpid_impl") for name in traced)
+
+    def test_records_syscall_names(self, kernel, proc):
+        kernel.tracer.start()
+        kernel.syscall(proc, "getpid")
+        kernel.syscall(proc, "getuid")
+        kernel.tracer.stop()
+        assert kernel.tracer.traced_syscalls(proc.cgroup.cg_id) == \
+            frozenset({"getpid", "getuid"})
+
+    def test_contexts_separated(self, kernel):
+        a = kernel.create_process("a")
+        b = kernel.create_process("b")
+        kernel.tracer.start()
+        kernel.syscall(a, "getpid")
+        kernel.syscall(b, "getuid")
+        kernel.tracer.stop()
+        assert "sys_getpid" in kernel.tracer.traced_functions(a.cgroup.cg_id)
+        assert "sys_getpid" not in \
+            kernel.tracer.traced_functions(b.cgroup.cg_id)
+
+    def test_indirect_targets_are_traced(self, kernel, proc):
+        """Dynamic profiles capture fops implementations that static
+        analysis cannot see -- the core dynamic-ISV advantage."""
+        fd = kernel.syscall(proc, "open", args=(0,)).retval  # ext4
+        kernel.tracer.start()
+        kernel.syscall(proc, "read", args=(fd, 64))
+        kernel.tracer.stop()
+        assert "ext4_read" in kernel.tracer.traced_functions(
+            proc.cgroup.cg_id)
+
+    def test_error_paths_not_traced_on_benign_runs(self, kernel, proc):
+        kernel.tracer.start()
+        kernel.syscall(proc, "getpid")
+        kernel.tracer.stop()
+        traced = kernel.tracer.traced_functions(proc.cgroup.cg_id)
+        assert "getpid_error_path" not in traced
+        assert "getpid_rare_path" not in traced
+
+    def test_entry_counts_accumulate(self, kernel, proc):
+        kernel.tracer.start()
+        kernel.syscall(proc, "getpid")
+        kernel.syscall(proc, "getpid")
+        kernel.tracer.stop()
+        assert kernel.tracer.entry_count("sys_getpid") == 2
+
+    def test_clear(self, kernel, proc):
+        kernel.tracer.start()
+        kernel.syscall(proc, "getpid")
+        kernel.tracer.clear()
+        assert kernel.tracer.traced_functions(proc.cgroup.cg_id) == \
+            frozenset()
