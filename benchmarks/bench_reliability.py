@@ -1,0 +1,45 @@
+"""Robustness: fail-closed invariants under fault injection, and the
+resilient campaign runner.
+
+The fault plane (``repro.reliability``) injects deterministic failures at
+every layer Perspective depends on -- view-cache lookups, DSVMT walks,
+allocator paths, trace buffers, the fuzzer executor.  The paper's security
+argument only holds if every such failure degrades to a *fence*; this
+bench runs the full invariant matrix and asserts it is all-pass, then
+exercises the campaign runner end to end under a fault storm.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.reliability import FAULT_SWEEP, InvariantChecker, smoke_campaign
+
+
+@pytest.mark.faulty
+def test_fail_closed_invariant_matrix(benchmark, emit):
+    """Every scenario in the sweep: PoCs blocked, no stale owner, ISV and
+    fuzzer findings monotone, armed fault points actually firing."""
+    def matrix():
+        result = InvariantChecker().run(FAULT_SWEEP)
+        assert result.all_pass, result.render()
+        return result.render()
+
+    emit(run_once(benchmark, matrix))
+
+
+@pytest.mark.faulty
+def test_campaign_under_fault_storm(benchmark, emit, tmp_path):
+    """The resilient runner completes a fast campaign under a moderate
+    fault storm and renders a full (non-degraded) report."""
+    def campaign():
+        state, report = smoke_campaign(tmp_path / "journal", seed=0)
+        assert not state.failures, state.failures
+        assert not state.interrupted
+        lines = [f"smoke campaign: {sorted(state.done)} completed, "
+                 f"attempts={dict(sorted(state.attempts.items()))}"]
+        lines.append(report)
+        return "\n".join(lines)
+
+    emit(run_once(benchmark, campaign))

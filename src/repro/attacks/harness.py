@@ -66,12 +66,21 @@ def non_driver_isv_functions(image: KernelImage) -> frozenset[str]:
 def build_perspective(kernel: MiniKernel,
                       isv_functions: frozenset[str] | None = None,
                       context_ids: list[int] | None = None,
+                      harden: bool = False,
                       ) -> tuple[Perspective, PerspectivePolicy]:
     """Wire a Perspective framework + policy onto a kernel, installing the
-    given ISV function set for each context (default: all processes)."""
+    given ISV function set for each context (default: all processes).
+
+    ``harden`` applies the scanner pass (the ++ flavor): functions the
+    taint scanner flags inside the view are excluded before install.
+    """
     framework = Perspective(kernel)
     if isv_functions is None:
         isv_functions = non_driver_isv_functions(kernel.image)
+    if harden:
+        from repro.scanner.kasper import scan
+        flagged = scan(kernel.image, scope=isv_functions).functions()
+        isv_functions = isv_functions - flagged
     if context_ids is None:
         context_ids = sorted({proc.cgroup.cg_id
                               for proc in kernel.processes.values()})
@@ -99,6 +108,9 @@ def build_policy(scheme: str, kernel: MiniKernel) -> SpeculationPolicy:
         policy = SpotMitigationPolicy(kpti=True, retpoline=True, ibpb=True)
     elif scheme == "perspective":
         _, policy = build_perspective(kernel)
+        return policy
+    elif scheme == "perspective++":
+        _, policy = build_perspective(kernel, harden=True)
         return policy
     else:
         raise ValueError(f"unknown scheme {scheme!r}")

@@ -17,6 +17,7 @@ from __future__ import annotations
 from repro.core.dsvmt import DSVMT
 from repro.core.views import DataSpeculationView
 from repro.kernel.buddy import BuddyAllocator
+from repro.reliability.faultplane import fire
 
 
 class DSVRegistry:
@@ -28,6 +29,12 @@ class DSVRegistry:
         self._dsvmts: dict[int, DSVMT] = {}
         self.assign_events = 0
         self.release_events = 0
+        #: Assignment events lost to fault injection.  Dropping an assign
+        #: is fail-closed (the frames stay unknown, outside every view);
+        #: release events are never droppable -- they are processed
+        #: transactionally with the free, since losing one would leave a
+        #: stale owner behind.
+        self.dropped_assign_events = 0
 
     # -- allocator hooks -------------------------------------------------
 
@@ -35,6 +42,12 @@ class DSVRegistry:
                  owner: int | None) -> None:
         if owner is None:
             return  # unowned allocation: stays outside every DSV
+        if fire("dsv-assign-drop"):
+            # Lost ownership event: the frames surface as *unknown* (no
+            # DSV), so speculation on them is conservatively blocked for
+            # every context, including the rightful owner.
+            self.dropped_assign_events += 1
+            return
         view = self.view_for(owner)
         dsvmt = self.dsvmt_for(owner)
         for frame in range(first_frame, first_frame + count):
@@ -81,6 +94,10 @@ class DSVRegistry:
     def owner_of(self, frame: int) -> int | None:
         """Owning context of a frame, or None for unknown memory."""
         return self._frame_owner.get(frame)
+
+    def frame_owners(self) -> dict[int, int]:
+        """Snapshot of the frame -> owner map (audit/invariant checks)."""
+        return dict(self._frame_owner)
 
     def frame_in_view(self, frame: int, context_id: int) -> bool:
         """The DSV check: does ``context_id`` own this frame?

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.reliability.faultplane import DSVMTWalkFault, fire
+
 #: Frames per level-2 entry (2 MB / 4 KB).
 L2_SPAN = 512
 #: Frames per level-1 entry (1 GB / 4 KB).
@@ -30,6 +32,7 @@ class DSVMTStats:
     walks: int = 0
     leaf_lookups: int = 0
     huge_hits: int = 0  # walks answered at the 2MB/1GB level
+    walk_faults: int = 0  # fault-injected aborted walks
 
 
 class DSVMT:
@@ -66,8 +69,18 @@ class DSVMT:
             del self._l1_count[l1]
 
     def lookup(self, frame: int) -> bool:
-        """Walk the tree for one frame (the hardware's miss path)."""
+        """Walk the tree for one frame (the hardware's miss path).
+
+        Raises :class:`DSVMTWalkFault` when the fault plane aborts the
+        walk; the enforcement policy must fence the load and install no
+        cache entry (fail-closed).
+        """
         self.stats.walks += 1
+        if fire("dsvmt-walk-fail"):
+            self.stats.walk_faults += 1
+            raise DSVMTWalkFault(
+                f"injected DSVMT walk failure (context {self.context_id}, "
+                f"frame {frame})")
         l1 = frame // L1_SPAN
         if self._l1_count.get(l1, 0) == L1_SPAN:
             self.stats.huge_hits += 1
@@ -81,6 +94,10 @@ class DSVMT:
             return False  # interior entry empty: no leaf can be set
         self.stats.leaf_lookups += 1
         return frame in self._leaf
+
+    def frames(self) -> frozenset[int]:
+        """All leaf frames currently in view (audit/invariant checks)."""
+        return frozenset(self._leaf)
 
     def __contains__(self, frame: int) -> bool:
         return frame in self._leaf

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cpu.isa import OP_SIZE
+from repro.reliability.faultplane import fire
 
 #: Instructions covered by one ISV cache entry (64 B of bitmap = 512 bits).
 ISV_BLOCK_INSTRUCTIONS = 512
@@ -34,6 +35,10 @@ class ViewCacheStats:
     misses: int = 0
     fills: int = 0
     evictions: int = 0
+    #: Fault-injected misses: lookups forced to miss by the fault plane.
+    injected_misses: int = 0
+    #: Fault-injected parity drops: matched entries discarded as stale.
+    stale_drops: int = 0
 
     @property
     def accesses(self) -> int:
@@ -47,6 +52,7 @@ class ViewCacheStats:
 
     def reset(self) -> None:
         self.hits = self.misses = self.fills = self.evictions = 0
+        self.injected_misses = self.stale_drops = 0
 
 
 class ViewCache:
@@ -56,6 +62,12 @@ class ViewCache:
     page frame).  The cached payload is the in-view bit for that block
     granule; ``lookup`` returns the cached bit on a hit and ``None`` on a
     miss (caller blocks conservatively and calls ``fill``).
+
+    Two fault points model degraded hardware fail-closed: a *forced miss*
+    makes the lookup miss regardless of contents, and a *stale* fault
+    models a parity error on the matched entry -- the hardware discards
+    the entry and reports a miss rather than serving a possibly-corrupt
+    bit.  Either way the caller blocks; a faulted lookup can never permit.
     """
 
     def __init__(self, name: str, entries: int = 128, ways: int = 4) -> None:
@@ -69,16 +81,29 @@ class ViewCache:
         self._sets: list[list[tuple[tuple[int, int], bool]]] = [
             [] for _ in range(self.num_sets)]
         self.stats = ViewCacheStats()
+        registered = name in ("isv", "dsv")
+        self._miss_fault = f"{name}-cache-forced-miss" if registered else None
+        self._stale_fault = f"{name}-cache-stale" if registered else None
 
     def _set_index(self, key: int) -> int:
         return key % self.num_sets
 
     def lookup(self, asid: int, key: int) -> bool | None:
         """Cached in-view bit for (asid, key), or None on miss."""
+        if self._miss_fault is not None and fire(self._miss_fault):
+            self.stats.injected_misses += 1
+            self.stats.misses += 1
+            return None
         ways = self._sets[self._set_index(key)]
         tag = (asid, key)
         for i, (entry_tag, bit) in enumerate(ways):
             if entry_tag == tag:
+                if self._stale_fault is not None and fire(self._stale_fault):
+                    # Parity fault on the matched entry: drop it and miss.
+                    ways.pop(i)
+                    self.stats.stale_drops += 1
+                    self.stats.misses += 1
+                    return None
                 self.stats.hits += 1
                 if i != 0:
                     ways.insert(0, ways.pop(i))

@@ -21,6 +21,7 @@ from __future__ import annotations
 from repro.core.dsvmt import WALK_LATENCY
 from repro.core.framework import Perspective
 from repro.core.hardware import REFILL_LATENCY, isv_block_of
+from repro.reliability.faultplane import DSVMTWalkFault
 from repro.cpu.pipeline import LoadDecision, LoadQuery
 from repro.defenses.base import CountingPolicy
 from repro.kernel.layout import PAGE_SHIFT
@@ -96,7 +97,12 @@ class PerspectivePolicy(CountingPolicy):
         cache = self.framework.dsv_cache
         cached = cache.lookup(ctx, frame)
         if cached is None:
-            in_view = registry.dsvmt_for(ctx).lookup(frame)
+            try:
+                in_view = registry.dsvmt_for(ctx).lookup(frame)
+            except DSVMTWalkFault:
+                # Fail closed: a failed walk fences the load and leaves
+                # no cache entry -- the next access re-walks.
+                return self.block("dsv", extra_latency=WALK_LATENCY)
             cache.fill(ctx, frame, in_view)
             return self.block("dsv", extra_latency=WALK_LATENCY)
         if not cached:

@@ -18,8 +18,10 @@ from repro.eval.metrics import (
 )
 from repro.eval.report import (
     EvaluationArtifacts,
+    render_campaign_report,
     run_full_evaluation,
     security_matrix_text,
+    security_matrix_text_from_cells,
 )
 from repro.eval.runner import (
     AppsExperiment,
@@ -91,8 +93,10 @@ __all__ = [
     "run_gadget_experiment",
     "run_kasper_experiment",
     "run_lebench_experiment",
+    "render_campaign_report",
     "run_slab_sensitivity",
     "run_surface_experiment",
     "run_unknown_allocations",
     "security_matrix_text",
+    "security_matrix_text_from_cells",
 ]

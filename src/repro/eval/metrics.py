@@ -8,9 +8,16 @@ from repro.cpu.pipeline import ExecResult
 
 
 def normalized(value: float, baseline: float) -> float:
-    """value / baseline (1.0 = parity with UNSAFE)."""
+    """value / baseline (1.0 = parity with UNSAFE).
+
+    A zero baseline means the measurement that should anchor the ratio
+    never ran; silently returning 0.0 here used to masquerade as "no
+    overhead" in downstream tables.
+    """
     if baseline == 0:
-        return 0.0
+        raise ValueError(
+            f"normalized: zero baseline for value {value!r} -- the "
+            "baseline measurement is missing or empty")
     return value / baseline
 
 
@@ -21,7 +28,7 @@ def overhead_pct(value: float, baseline: float) -> float:
 
 def geomean(values: list[float]) -> float:
     if not values:
-        return 0.0
+        raise ValueError("geomean of an empty sequence is undefined")
     product = 1.0
     for v in values:
         product *= v

@@ -37,9 +37,16 @@ class EvaluationArtifacts:
         return out.getvalue()
 
 
-def security_matrix_text(schemes=("unsafe", "spot", "perspective")) -> str:
-    """Chapter 8 PoC matrix: every attack under every scheme."""
-    cells = run_matrix(schemes=schemes)
+def security_matrix_text_from_cells(cells,
+                                    schemes: tuple[str, ...] | None = None,
+                                    ) -> str:
+    """Render the Chapter 8 matrix from already-run PoC cells."""
+    if schemes is None:
+        seen: list[str] = []
+        for cell in cells:
+            if cell.scheme not in seen:
+                seen.append(cell.scheme)
+        schemes = tuple(seen)
     lines = ["Security matrix (Chapter 8): leak/blocked per attack x scheme",
              "-" * 70]
     by_attack: dict[str, dict[str, str]] = {}
@@ -56,6 +63,12 @@ def security_matrix_text(schemes=("unsafe", "spot", "perspective")) -> str:
                  "eIBRS control -- Retbleed/RSB leak under spot, and "
                  "Perspective blocks everything)")
     return "\n".join(lines)
+
+
+def security_matrix_text(schemes=("unsafe", "spot", "perspective")) -> str:
+    """Chapter 8 PoC matrix: every attack under every scheme."""
+    return security_matrix_text_from_cells(run_matrix(schemes=schemes),
+                                           tuple(schemes))
 
 
 def run_full_evaluation(fast: bool = False) -> EvaluationArtifacts:
@@ -129,4 +142,70 @@ def run_full_evaluation(fast: bool = False) -> EvaluationArtifacts:
                       "nginx, memcached 0.01%/0.01%/0.003% and 4/3/2 per s)")
     artifacts.sections["Sensitivity: secure slab allocator"] = \
         "\n".join(slab_lines)
+    return artifacts
+
+
+# ---------------------------------------------------------------------------
+# Resilient-campaign rendering (repro.reliability.campaign)
+# ---------------------------------------------------------------------------
+
+#: Campaign experiment name -> (section title, renderer taking the
+#: reconstructed experiment object).
+_CAMPAIGN_SECTIONS = {
+    "surface": ("Table 8.1 (attack surface)", tables.table_8_1),
+    "gadgets": ("Table 8.2 (gadget reduction)", tables.table_8_2),
+    "security": ("Security PoC matrix (Sections 8.1-8.2)",
+                 security_matrix_text_from_cells),
+    "kasper": ("Figure 9.1 (Kasper speedup)", figures.figure_9_1),
+    "lebench": ("Figure 9.2 (LEBench)", figures.figure_9_2),
+    "apps": ("Figure 9.3 (datacenter apps)", figures.figure_9_3),
+    "breakdown": ("Table 10.1 (fence breakdown)", tables.table_10_1),
+}
+
+
+def render_campaign_report(state,
+                           experiments: tuple[str, ...] | None = None,
+                           ) -> EvaluationArtifacts:
+    """Render whatever a (possibly partial) campaign produced.
+
+    ``state`` is a :class:`repro.reliability.campaign.CampaignState`.
+    Experiments that failed after retry exhaustion -- or that a supplied
+    ``experiments`` schedule lists but the journal has no record for --
+    render as ``—`` placeholders, and a failure summary section reports
+    what went wrong instead of the whole report aborting.
+    """
+    artifacts = EvaluationArtifacts()
+    artifacts.sections["Table 4.1 (CVE taxonomy)"] = tables.table_4_1()
+    artifacts.sections["Table 7.1 (simulation parameters)"] = \
+        tables.table_7_1()
+    if experiments is None:
+        experiments = tuple(name for name in _CAMPAIGN_SECTIONS
+                            if name in state.payloads
+                            or name in state.failures)
+    for name in experiments:
+        if name not in _CAMPAIGN_SECTIONS:
+            continue
+        title, renderer = _CAMPAIGN_SECTIONS[name]
+        result = state.result(name)
+        if result is not None:
+            artifacts.sections[title] = renderer(result)
+        elif name in state.failures:
+            artifacts.sections[title] = tables.unavailable(
+                title, f"experiment {name!r} failed after "
+                f"{state.attempts.get(name, '?')} attempt(s)")
+        else:
+            artifacts.sections[title] = tables.unavailable(
+                title, f"experiment {name!r} not yet run "
+                "(campaign interrupted; resume from the journal)")
+    artifacts.sections["Table 9.1 (hardware characterization)"] = \
+        tables.table_9_1()
+    if state.failures:
+        lines = ["Failed experiments (rendered above as "
+                 f"{tables.MISSING}):"]
+        for name, error in sorted(state.failures.items()):
+            lines.append(f"  {name:<12} attempts="
+                         f"{state.attempts.get(name, '?')}  {error}")
+    else:
+        lines = ["All campaign experiments completed."]
+    artifacts.sections["Campaign failure summary"] = "\n".join(lines)
     return artifacts

@@ -43,11 +43,19 @@ class LEBenchExperiment:
         return 100.0 * (mean - 1.0)
 
     def max_overhead_pct(self, scheme: str) -> tuple[str, float]:
-        worst_test, worst = "", 0.0
+        """Worst-overhead test for a scheme.
+
+        When every test speeds up (overhead <= 0, e.g. a caching scheme
+        on a cold baseline) this returns the least-negative test rather
+        than an empty name with a fabricated 0.0.
+        """
+        worst_test, worst = "", float("-inf")
         for test in self.cycles["unsafe"]:
             over = self.normalized_latency(test, scheme) - 1.0
             if over > worst:
                 worst_test, worst = test, over
+        if not worst_test:
+            raise ValueError("max_overhead_pct: no LEBench tests measured")
         return worst_test, 100.0 * worst
 
 

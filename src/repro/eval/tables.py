@@ -17,8 +17,21 @@ from repro.hw_model.cacti import table_9_1 as cacti_rows
 from repro.kernel.image import ImageConfig
 
 
+#: Placeholder for cells/tables whose experiment failed or never ran.
+MISSING = "—"
+
+
 def _rule(width: int = 78) -> str:
     return "-" * width
+
+
+def unavailable(title: str, reason: str = "experiment unavailable") -> str:
+    """Render a placeholder block instead of aborting the whole report.
+
+    Used by the resilient campaign path when an experiment is marked
+    failed after retry exhaustion (or was never scheduled).
+    """
+    return "\n".join([title, _rule(), f"{MISSING}  ({reason})"])
 
 
 def table_4_1() -> str:
@@ -70,8 +83,11 @@ def table_7_1() -> str:
     return "\n".join(lines)
 
 
-def table_8_1(exp: SurfaceExperiment) -> str:
+def table_8_1(exp: SurfaceExperiment | None) -> str:
     """Attack-surface reduction with Perspective."""
+    if exp is None:
+        return unavailable("Table 8.1: Attack surface reduction with "
+                           "Perspective")
     apps = list(exp.static_isv_size)
     lines = ["Table 8.1: Attack surface reduction with Perspective",
              _rule(),
@@ -85,8 +101,11 @@ def table_8_1(exp: SurfaceExperiment) -> str:
     return "\n".join(lines)
 
 
-def table_8_2(exp: GadgetExperiment) -> str:
+def table_8_2(exp: GadgetExperiment | None) -> str:
     """MDS / Port / Cache gadget reduction per ISV flavor."""
+    if exp is None:
+        return unavailable("Table 8.2: Perspective's MDS/Port/Cache gadget "
+                           "reduction")
     scale = ImageConfig().gadget_report_scale
     lines = ["Table 8.2: Perspective's MDS/Port/Cache gadget reduction",
              _rule(),
@@ -124,8 +143,11 @@ def table_9_1() -> str:
     return "\n".join(lines)
 
 
-def table_10_1(exp: BreakdownExperiment) -> str:
+def table_10_1(exp: BreakdownExperiment | None) -> str:
     """Percentage of fenced instructions due to ISV and DSV."""
+    if exp is None:
+        return unavailable("Table 10.1: Fenced instructions due to ISV "
+                           "vs DSV")
     lines = ["Table 10.1: Fenced instructions due to ISV vs DSV", _rule()]
     flavor_label = {"perspective-static": "ISV-S/DSV",
                     "perspective": "ISV/DSV",

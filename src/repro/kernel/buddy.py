@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.kernel.layout import TOTAL_FRAMES
+from repro.reliability.faultplane import fire
 
 
 class OutOfMemory(Exception):
@@ -25,6 +26,8 @@ class BuddyStats:
     frees: int = 0
     splits: int = 0
     merges: int = 0
+    #: Fault-injected transient allocation failures.
+    injected_failures: int = 0
 
 
 #: Callback signature: (first_frame, num_frames, owner_id | None).
@@ -76,6 +79,13 @@ class BuddyAllocator:
         """
         if not 0 <= order <= self.MAX_ORDER:
             raise ValueError(f"order {order} out of range")
+        if fire("buddy-alloc-fail"):
+            # Transient failure injected *before* any state changes: no
+            # frame is carved, no owner recorded, no hook fired -- the
+            # failure can only surface as "no allocation", never as a
+            # stale owner.
+            self.stats.injected_failures += 1
+            raise OutOfMemory("injected transient allocation failure")
         found = None
         for o in range(order, self.MAX_ORDER + 1):
             if self._free[o]:

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.kernel.buddy import BuddyAllocator
+from repro.kernel.buddy import BuddyAllocator, OutOfMemory
 from repro.kernel.layout import PAGE_SIZE, pa_of_frame
 
 #: kmalloc size classes, following Linux's kmalloc-8 ... kmalloc-4k caches.
@@ -79,6 +79,8 @@ class SlabStats:
     frees: int = 0
     pages_acquired: int = 0
     pages_released: int = 0
+    #: Transient buddy failures absorbed by the acquire-retry loop.
+    alloc_retries: int = 0
     #: Frees that emptied a page and returned it to the buddy allocator --
     #: the "domain reassignment" page-level operations of Section 9.2.
     reassignment_frees: int = 0
@@ -94,6 +96,11 @@ class SlabStats:
 class _SlabCore:
     """Machinery shared by the baseline and secure allocators."""
 
+    #: Attempts per page acquisition: transient buddy failures (memory
+    #: pressure, injected faults) are retried like the kernel's reclaim
+    #: loop before the failure propagates to the caller.
+    PAGE_ALLOC_ATTEMPTS = 4
+
     def __init__(self, buddy: BuddyAllocator) -> None:
         self.buddy = buddy
         self.stats = SlabStats()
@@ -103,7 +110,14 @@ class _SlabCore:
         self._object_size: dict[int, int] = {}
 
     def _acquire_page(self, size_class: int, buddy_owner: int | None) -> SlabPage:
-        frame = self.buddy.alloc_pages(0, owner=buddy_owner)
+        for attempt in range(self.PAGE_ALLOC_ATTEMPTS):
+            try:
+                frame = self.buddy.alloc_pages(0, owner=buddy_owner)
+                break
+            except OutOfMemory:
+                if attempt == self.PAGE_ALLOC_ATTEMPTS - 1:
+                    raise
+                self.stats.alloc_retries += 1
         page = SlabPage(frame=frame, size_class=size_class)
         self._page_by_frame[frame] = page
         self.stats.pages_acquired += 1

@@ -13,16 +13,25 @@ from collections import defaultdict
 
 from repro.cpu.isa import Function
 from repro.cpu.pipeline import ExecutionContext
+from repro.reliability.faultplane import fire
 
 
 class KernelTracer:
-    """Records committed function entries per context while enabled."""
+    """Records committed function entries per context while enabled.
+
+    The ring buffer can drop records under pressure (the ``trace-drop``
+    fault point).  A dropped record can only *shrink* the traced function
+    set -- and therefore the dynamic ISV built from it -- never grow it,
+    so degraded tracing costs performance (extra fences), not security.
+    """
 
     def __init__(self) -> None:
         self.enabled = False
         self._functions_by_context: dict[int, set[str]] = defaultdict(set)
         self._syscalls_by_context: dict[int, set[str]] = defaultdict(set)
         self._entry_counts: dict[str, int] = defaultdict(int)
+        #: Function-entry records lost to buffer drops (fault-injected).
+        self.dropped_entries = 0
 
     def start(self) -> None:
         self.enabled = True
@@ -40,6 +49,9 @@ class KernelTracer:
     def on_function_entry(self, func: Function,
                           context: ExecutionContext) -> None:
         if not self.enabled:
+            return
+        if fire("trace-drop"):
+            self.dropped_entries += 1
             return
         self._functions_by_context[context.context_id].add(func.name)
         self._entry_counts[func.name] += 1

@@ -1,0 +1,64 @@
+"""CLI entry point: ``python -m repro.reliability``.
+
+Runs the CI smoke campaign -- a trimmed experiment set under a moderate
+fault storm, journaled and rendered through the degradation-aware report
+-- and exits non-zero if any experiment failed.  ``--journal-dir`` keeps
+the journal across invocations (resume); the default is a temporary
+directory.  ``--sweep`` additionally runs a reduced fail-closed
+invariant sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+
+from repro.reliability.campaign import smoke_campaign
+from repro.reliability.invariants import FAULT_SWEEP, InvariantChecker
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.reliability",
+        description="fault-injection smoke campaign")
+    parser.add_argument("--journal-dir", default=None,
+                        help="journal directory (default: temporary; pass "
+                             "a path to make the campaign resumable)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--sweep", action="store_true",
+                        help="also run a reduced invariant sweep")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.journal_dir is None:
+            with tempfile.TemporaryDirectory() as tmp:
+                state, report = smoke_campaign(tmp, seed=args.seed)
+        else:
+            state, report = smoke_campaign(args.journal_dir, seed=args.seed)
+    except ValueError as exc:
+        # e.g. resuming a journal written by a different configuration.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(report)
+    if state.failures:
+        print(f"smoke campaign FAILED: {state.failures}", file=sys.stderr)
+        return 1
+    print(f"smoke campaign ok: {sorted(state.done)} completed")
+
+    if args.sweep:
+        checker = InvariantChecker(
+            attacks=("spectre-v1-active", "spectre-v2-passive"),
+            schemes=("perspective",), seed=args.seed)
+        subset = tuple(s for s in FAULT_SWEEP
+                       if s.name in ("isv-forced-miss", "dsvmt-walk-fail",
+                                     "dsv-assign-drop", "trace-drop"))
+        matrix = checker.run(subset)
+        print(matrix.render())
+        if not matrix.all_pass:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,150 @@
+"""JSON round-tripping for experiment results (campaign journal payloads).
+
+The campaign runner executes experiments in subprocesses and checkpoints
+their results into a JSON journal; these functions flatten each
+experiment object into its raw fields (no derived values -- those are
+recomputed by the renderers) and rebuild an equivalent object on resume,
+so a resumed campaign renders byte-identical tables without re-running
+anything.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.attacks.base import AttackResult
+from repro.attacks.harness import MatrixCell
+from repro.eval.metrics import FenceBreakdown
+from repro.eval.runner import (
+    AppsExperiment,
+    BreakdownExperiment,
+    GadgetExperiment,
+    KasperExperiment,
+    LEBenchExperiment,
+    SurfaceExperiment,
+)
+
+
+def lebench_to_payload(exp: LEBenchExperiment) -> dict[str, Any]:
+    return {"schemes": list(exp.schemes),
+            "cycles": {s: dict(tests) for s, tests in exp.cycles.items()}}
+
+
+def lebench_from_payload(data: dict[str, Any]) -> LEBenchExperiment:
+    exp = LEBenchExperiment(schemes=tuple(data["schemes"]))
+    exp.cycles = {s: dict(tests) for s, tests in data["cycles"].items()}
+    return exp
+
+
+def apps_to_payload(exp: AppsExperiment) -> dict[str, Any]:
+    return {
+        "schemes": list(exp.schemes),
+        "total_cycles_per_request": {
+            app: dict(per) for app, per
+            in exp.total_cycles_per_request.items()},
+        "kernel_cycles_per_request": {
+            app: dict(per) for app, per
+            in exp.kernel_cycles_per_request.items()},
+    }
+
+
+def apps_from_payload(data: dict[str, Any]) -> AppsExperiment:
+    exp = AppsExperiment(schemes=tuple(data["schemes"]))
+    exp.total_cycles_per_request = {
+        app: dict(per) for app, per
+        in data["total_cycles_per_request"].items()}
+    exp.kernel_cycles_per_request = {
+        app: dict(per) for app, per
+        in data["kernel_cycles_per_request"].items()}
+    return exp
+
+
+def surface_to_payload(exp: SurfaceExperiment) -> dict[str, Any]:
+    return {"total_functions": exp.total_functions,
+            "static_isv_size": dict(exp.static_isv_size),
+            "dynamic_isv_size": dict(exp.dynamic_isv_size)}
+
+
+def surface_from_payload(data: dict[str, Any]) -> SurfaceExperiment:
+    return SurfaceExperiment(
+        total_functions=data["total_functions"],
+        static_isv_size=dict(data["static_isv_size"]),
+        dynamic_isv_size=dict(data["dynamic_isv_size"]))
+
+
+def gadgets_to_payload(exp: GadgetExperiment) -> dict[str, Any]:
+    return {
+        "blocked": {app: {flavor: dict(classes)
+                          for flavor, classes in rows.items()}
+                    for app, rows in exp.blocked.items()},
+        "total_by_class": dict(exp.total_by_class),
+        "search_space_functions": dict(exp.search_space_functions),
+    }
+
+
+def gadgets_from_payload(data: dict[str, Any]) -> GadgetExperiment:
+    return GadgetExperiment(
+        blocked={app: {flavor: dict(classes)
+                       for flavor, classes in rows.items()}
+                 for app, rows in data["blocked"].items()},
+        total_by_class=dict(data["total_by_class"]),
+        search_space_functions=dict(data["search_space_functions"]))
+
+
+def kasper_to_payload(exp: KasperExperiment) -> dict[str, Any]:
+    return {"speedups": dict(exp.speedups)}
+
+
+def kasper_from_payload(data: dict[str, Any]) -> KasperExperiment:
+    return KasperExperiment(speedups=dict(data["speedups"]))
+
+
+def breakdown_to_payload(exp: BreakdownExperiment) -> dict[str, Any]:
+    return {
+        "breakdowns": {
+            workload: {scheme: {"isv_fences": fb.isv_fences,
+                                "dsv_fences": fb.dsv_fences,
+                                "other_fences": fb.other_fences,
+                                "committed_ops": fb.committed_ops}
+                       for scheme, fb in per.items()}
+            for workload, per in exp.breakdowns.items()},
+        "isv_cache_hit_rate": {w: dict(per) for w, per
+                               in exp.isv_cache_hit_rate.items()},
+        "dsv_cache_hit_rate": {w: dict(per) for w, per
+                               in exp.dsv_cache_hit_rate.items()},
+    }
+
+
+def breakdown_from_payload(data: dict[str, Any]) -> BreakdownExperiment:
+    return BreakdownExperiment(
+        breakdowns={
+            workload: {scheme: FenceBreakdown(**fields)
+                       for scheme, fields in per.items()}
+            for workload, per in data["breakdowns"].items()},
+        isv_cache_hit_rate={w: dict(per) for w, per
+                            in data["isv_cache_hit_rate"].items()},
+        dsv_cache_hit_rate={w: dict(per) for w, per
+                            in data["dsv_cache_hit_rate"].items()})
+
+
+def security_to_payload(cells: list[MatrixCell]) -> dict[str, Any]:
+    return {"cells": [{
+        "attack": cell.attack,
+        "scheme": cell.scheme,
+        "secret_hex": cell.result.secret.hex(),
+        "leaked_hex": cell.result.leaked.hex(),
+        "unrecovered": cell.result.unrecovered,
+        "notes": cell.result.notes,
+    } for cell in cells]}
+
+
+def security_from_payload(data: dict[str, Any]) -> list[MatrixCell]:
+    return [MatrixCell(
+        attack=rec["attack"], scheme=rec["scheme"],
+        result=AttackResult(
+            name=rec["attack"], scheme=rec["scheme"],
+            secret=bytes.fromhex(rec["secret_hex"]),
+            leaked=bytes.fromhex(rec["leaked_hex"]),
+            unrecovered=rec.get("unrecovered", 0),
+            notes=rec.get("notes", "")))
+        for rec in data["cells"]]

@@ -19,9 +19,11 @@ the functions that can actually execute transiently -- the source of the
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 
 from repro.kernel.image import KernelImage
+from repro.reliability.faultplane import fire
 
 #: Exploration weight by function role: how readily the fuzzer reaches it.
 #: A round's time cost is the inverse of its target's weight.
@@ -48,6 +50,8 @@ class FuzzCampaign:
     rounds: int = 0
     functions_covered: int = 0
     gadgets_found: int = 0
+    #: Rounds that burned budget without coverage (injected stalls).
+    stalled_rounds: int = 0
     #: Simulated time of the most recent new finding.
     last_find_time_units: float = 0.0
     #: (simulated_hour, cumulative_gadgets) samples.
@@ -75,8 +79,14 @@ class FuzzCampaign:
 
 
 def _gadget_thresholds(name: str, n_gadgets: int, seed: int) -> list[int]:
-    """Deterministic per-gadget visit thresholds for one function."""
-    return [VISIT_THRESHOLDS[hash((seed, name, k)) % len(VISIT_THRESHOLDS)]
+    """Deterministic per-gadget visit thresholds for one function.
+
+    Uses crc32 rather than ``hash()``: the built-in string hash is salted
+    per interpreter process (PYTHONHASHSEED), which would make campaign
+    results differ across runs and break journal reproducibility.
+    """
+    return [VISIT_THRESHOLDS[zlib.crc32(f"{seed}:{name}:{k}".encode())
+                             % len(VISIT_THRESHOLDS)]
             for k in range(n_gadgets)]
 
 
@@ -116,6 +126,14 @@ def run_campaign(image: KernelImage,
             weight = ROLE_REACH_WEIGHT.get(image.info[name].role, 1.0)
             spent += 1.0 / weight
             campaign.rounds += 1
+            if fire("fuzzer-stall"):
+                # Stalled executor: the round's time is spent but no
+                # visit lands, so coverage (and findings) can only lag
+                # the fault-free campaign, never exceed it.
+                campaign.stalled_rounds += 1
+                if spent >= budget:
+                    break
+                continue
             count = visits.get(name, 0) + 1
             visits[name] = count
             gadget_thresholds = thresholds.get(name)

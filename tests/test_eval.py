@@ -22,11 +22,26 @@ class TestMetrics:
     def test_normalized_and_overhead(self):
         assert normalized(110, 100) == pytest.approx(1.1)
         assert overhead_pct(110, 100) == pytest.approx(10.0)
-        assert normalized(5, 0) == 0.0
+
+    def test_normalized_rejects_zero_baseline(self):
+        with pytest.raises(ValueError, match="zero baseline"):
+            normalized(5, 0)
 
     def test_geomean(self):
         assert geomean([1.0, 4.0]) == pytest.approx(2.0)
-        assert geomean([]) == 0.0
+
+    def test_geomean_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            geomean([])
+
+    def test_max_overhead_returns_least_negative_when_all_speedups(self):
+        from repro.eval.runner import LEBenchExperiment
+        exp = LEBenchExperiment(schemes=("unsafe", "cachy"))
+        exp.cycles["unsafe"] = {"getpid": 100.0, "read": 200.0}
+        exp.cycles["cachy"] = {"getpid": 90.0, "read": 160.0}
+        test, pct = exp.max_overhead_pct("cachy")
+        assert test == "getpid"  # -10% beats -20%: least negative
+        assert pct == pytest.approx(-10.0)
 
     def test_fence_breakdown_shares(self):
         from repro.cpu.pipeline import ExecResult

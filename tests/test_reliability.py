@@ -1,0 +1,378 @@
+"""The reliability subsystem: fault plane, fail-closed hooks, invariant
+checker, and the resilient campaign runner."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.dsv import DSVRegistry
+from repro.core.dsvmt import DSVMT
+from repro.core.hardware import ViewCache
+from repro.eval.report import render_campaign_report
+from repro.eval.tables import MISSING
+from repro.kernel.buddy import BuddyAllocator, OutOfMemory
+from repro.kernel.slab import SlabAllocator
+from repro.kernel.tracing import KernelTracer
+from repro.reliability import (
+    FAULT_SWEEP,
+    CampaignConfig,
+    CampaignRunner,
+    DSVMTWalkFault,
+    FaultPlane,
+    FaultSpec,
+    InvariantChecker,
+    active_plane,
+    audit_dsv_fail_closed,
+    fire,
+    inject,
+    smoke_campaign,
+)
+
+
+def plane_for(*specs: FaultSpec, seed: int = 0) -> FaultPlane:
+    return FaultPlane(seed=seed, specs=specs)
+
+
+class TestFaultPlane:
+    def test_unknown_point_rejected_in_spec(self):
+        with pytest.raises(ValueError, match="unknown fault point"):
+            FaultSpec("no-such-point")
+
+    def test_unknown_point_rejected_at_fire_time(self):
+        with inject(plane_for(FaultSpec("trace-drop"))):
+            with pytest.raises(ValueError, match="unknown fault point"):
+                fire("no-such-point")
+
+    def test_duplicate_point_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            plane_for(FaultSpec("trace-drop"), FaultSpec("trace-drop"))
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError, match="not in"):
+            FaultSpec("trace-drop", probability=1.5)
+
+    def test_no_plane_means_no_faults(self):
+        assert active_plane() is None
+        assert fire("trace-drop") is False
+
+    def test_inject_scopes_and_restores(self):
+        plane = plane_for(FaultSpec("trace-drop"))
+        with inject(plane):
+            assert active_plane() is plane
+            assert fire("trace-drop") is True
+        assert active_plane() is None
+        with pytest.raises(RuntimeError):
+            with inject(plane):
+                raise RuntimeError("boom")
+        assert active_plane() is None
+
+    def test_nested_inject_restores_outer(self):
+        outer = plane_for(FaultSpec("trace-drop"))
+        inner = plane_for(FaultSpec("fuzzer-stall"))
+        with inject(outer):
+            with inject(inner):
+                assert active_plane() is inner
+            assert active_plane() is outer
+
+    def test_unarmed_point_never_fires(self):
+        plane = plane_for(FaultSpec("trace-drop", probability=1.0))
+        with inject(plane):
+            assert not any(fire("fuzzer-stall") for _ in range(50))
+            assert plane.fires.get("fuzzer-stall", 0) == 0
+
+    def test_same_seed_same_fire_sequence(self):
+        def sequence(seed):
+            plane = plane_for(FaultSpec("trace-drop", probability=0.3),
+                              FaultSpec("fuzzer-stall", probability=0.7),
+                              seed=seed)
+            with inject(plane):
+                return [(fire("trace-drop"), fire("fuzzer-stall"))
+                        for _ in range(200)]
+
+        assert sequence(3) == sequence(3)
+        assert sequence(3) != sequence(4)
+
+    def test_per_point_rng_streams_are_independent(self):
+        """Arming a second point must not shift the first point's draws."""
+        def trace_sequence(*extra):
+            plane = plane_for(FaultSpec("trace-drop", probability=0.3),
+                              *extra, seed=11)
+            with inject(plane):
+                out = []
+                for _ in range(200):
+                    out.append(fire("trace-drop"))
+                    fire("fuzzer-stall")
+                return out
+
+        alone = trace_sequence()
+        paired = trace_sequence(FaultSpec("fuzzer-stall", probability=0.5))
+        assert alone == paired
+
+    def test_max_fires_bounds_firings(self):
+        plane = plane_for(FaultSpec("trace-drop", max_fires=3))
+        with inject(plane):
+            fired = sum(fire("trace-drop") for _ in range(10))
+        assert fired == 3
+        assert plane.fires["trace-drop"] == 3
+        assert plane.draws["trace-drop"] == 10
+
+    def test_start_after_skips_early_draws(self):
+        plane = plane_for(FaultSpec("trace-drop", start_after=5))
+        with inject(plane):
+            outcomes = [fire("trace-drop") for _ in range(8)]
+        assert outcomes == [False] * 5 + [True] * 3
+
+    def test_round_trip_serialization(self):
+        plane = plane_for(
+            FaultSpec("trace-drop", probability=0.25, max_fires=7,
+                      start_after=2),
+            FaultSpec("dsvmt-walk-fail"), seed=9)
+        clone = FaultPlane.from_dict(plane.to_dict())
+        assert clone.seed == plane.seed
+        assert clone.specs == plane.specs
+
+
+class TestFailClosedHooks:
+    def test_view_cache_forced_miss_never_serves(self):
+        cache = ViewCache("isv", entries=8, ways=2)
+        cache.fill(1, 5, True)
+        assert cache.lookup(1, 5) is True
+        with inject(plane_for(FaultSpec("isv-cache-forced-miss"))):
+            assert cache.lookup(1, 5) is None
+        assert cache.stats.injected_misses == 1
+        # Fault cleared: the entry itself was untouched.
+        assert cache.lookup(1, 5) is True
+
+    def test_view_cache_stale_entry_discarded(self):
+        cache = ViewCache("dsv", entries=8, ways=2)
+        cache.fill(1, 5, True)
+        with inject(plane_for(FaultSpec("dsv-cache-stale", max_fires=1))):
+            assert cache.lookup(1, 5) is None  # parity fault: dropped
+            assert cache.lookup(1, 5) is None  # genuinely gone now
+        assert cache.stats.stale_drops == 1
+        assert cache.resident() == 0
+
+    def test_unregistered_cache_names_have_no_fault_points(self):
+        cache = ViewCache("scratch", entries=8, ways=2)
+        cache.fill(1, 5, True)
+        with inject(plane_for(FaultSpec("isv-cache-forced-miss"))):
+            assert cache.lookup(1, 5) is True
+
+    def test_dsvmt_walk_fault_raises(self):
+        dsvmt = DSVMT(context_id=1)
+        dsvmt.set_page(42, True)
+        with inject(plane_for(FaultSpec("dsvmt-walk-fail", max_fires=1))):
+            with pytest.raises(DSVMTWalkFault):
+                dsvmt.lookup(42)
+            assert dsvmt.lookup(42) is True
+        assert dsvmt.stats.walk_faults == 1
+
+    def test_buddy_alloc_fault_changes_no_state(self):
+        buddy = BuddyAllocator(total_frames=64)
+        with inject(plane_for(FaultSpec("buddy-alloc-fail", max_fires=1))):
+            with pytest.raises(OutOfMemory, match="injected"):
+                buddy.alloc_pages(0, owner=7)
+            assert buddy.allocations() == []
+            assert buddy.stats.allocations == 0
+            # Next attempt (fault exhausted) succeeds normally.
+            frame = buddy.alloc_pages(0, owner=7)
+        assert buddy.owner_of(frame) == 7
+        assert buddy.stats.injected_failures == 1
+
+    def test_slab_retries_absorb_transient_failures(self):
+        buddy = BuddyAllocator(total_frames=64)
+        slab = SlabAllocator(buddy)
+        with inject(plane_for(FaultSpec("buddy-alloc-fail", max_fires=2))):
+            pa = slab.kmalloc(64, owner=1)
+        assert pa >= 0
+        assert slab.stats.alloc_retries == 2
+        assert slab.stats.pages_acquired == 1
+        assert buddy.stats.injected_failures == 2
+
+    def test_dropped_assign_leaves_frames_unknown(self):
+        registry = DSVRegistry()
+        with inject(plane_for(FaultSpec("dsv-assign-drop", max_fires=1))):
+            registry.on_alloc(10, 2, owner=5)   # dropped
+            registry.on_alloc(20, 1, owner=5)   # delivered
+        assert registry.dropped_assign_events == 1
+        assert registry.owner_of(10) is None
+        assert registry.owner_of(11) is None
+        assert not registry.frame_in_view(10, 5)
+        assert registry.owner_of(20) == 5
+        # Unknown frames are fenced for everyone -- including the owner --
+        # which is the fail-closed side of losing the event.
+        assert 10 not in registry.dsvmt_for(5)
+
+    def test_release_events_survive_a_dropped_assign(self):
+        """Freeing frames whose assign was dropped must not corrupt the
+        registry (the release path is never droppable)."""
+        registry = DSVRegistry()
+        with inject(plane_for(FaultSpec("dsv-assign-drop", max_fires=1))):
+            registry.on_alloc(10, 2, owner=5)
+        registry.on_free(10, 2, owner=5)
+        assert registry.owner_of(10) is None
+        assert registry.release_events == 1
+
+    def test_trace_drop_only_shrinks_the_profile(self):
+        def traced(specs):
+            tracer = KernelTracer()
+            tracer.start()
+            with inject(plane_for(*specs, seed=2)):
+                for name in ("sys_read", "sys_write", "vfs_read",
+                             "vfs_write", "do_filp_open"):
+                    tracer.on_function_entry(
+                        SimpleNamespace(name=name),
+                        SimpleNamespace(context_id=1))
+            return tracer, tracer.traced_functions(1)
+
+        _, baseline = traced(())
+        tracer, faulted = traced((FaultSpec("trace-drop", max_fires=2),))
+        assert tracer.dropped_entries == 2
+        assert faulted < baseline
+
+
+class TestAudit:
+    def test_clean_registry_audits_clean(self, kernel):
+        from repro.core.framework import Perspective
+        framework = Perspective(kernel)
+        kernel.create_process("test")
+        assert audit_dsv_fail_closed(kernel, framework) == []
+
+    def test_audit_detects_a_stale_owner(self, kernel):
+        from repro.core.framework import Perspective
+        framework = Perspective(kernel)
+        proc = kernel.create_process("test")
+        ctx = proc.cgroup.cg_id
+        # Forge the one state faults must never produce: an ownership
+        # record for frames the allocator never handed to this context.
+        framework.dsv_registry.on_alloc(kernel.buddy.total_frames - 4, 2,
+                                        owner=ctx)
+        problems = audit_dsv_fail_closed(kernel, framework)
+        assert any("stale owner" in p for p in problems)
+
+
+@pytest.mark.faulty
+class TestInvariantSweep:
+    def test_subset_sweep_all_pass(self):
+        checker = InvariantChecker(
+            attacks=("spectre-v1-active", "retbleed-passive"),
+            schemes=("perspective",))
+        subset = tuple(s for s in FAULT_SWEEP
+                       if s.name in ("isv-forced-miss", "dsvmt-walk-fail",
+                                     "dsv-assign-drop", "trace-drop"))
+        matrix = checker.run(subset)
+        assert matrix.all_pass, matrix.render()
+        rendered = matrix.render()
+        assert "FAIL" not in rendered
+        assert "dsvmt-walk-fail" in rendered
+
+    def test_verdicts_are_deterministic(self):
+        checker = InvariantChecker(attacks=("spectre-v1-active",),
+                                   schemes=("perspective",), seed=5)
+        scenario = FAULT_SWEEP[3]  # dsvmt-walk-fail
+        assert (checker.check_scenario(scenario)
+                == checker.check_scenario(scenario))
+
+
+def _fast_config(**overrides) -> CampaignConfig:
+    defaults = dict(
+        seed=0, fast=True, experiments=("surface", "security"),
+        max_attempts=2, timeout_s=120.0,
+        fault=FaultPlane(seed=0, specs=(
+            FaultSpec("dsvmt-walk-fail", probability=0.05),
+            FaultSpec("trace-drop", probability=0.05),
+        )))
+    defaults.update(overrides)
+    return CampaignConfig(**defaults)
+
+
+class TestCampaignRunner:
+    def test_same_seed_and_faults_give_identical_journals(self, tmp_path):
+        """Satellite: seed + fault spec fully determine the journal bytes
+        and the experiment payloads."""
+        journals = []
+        for run in ("a", "b"):
+            runner = CampaignRunner(tmp_path / run, _fast_config())
+            state = runner.run()
+            assert not state.failures
+            journals.append(runner.journal_path.read_bytes())
+        assert journals[0] == journals[1]
+
+    def test_interrupted_campaign_resumes_without_rerunning(self, tmp_path):
+        """Satellite: kill after N experiments, resume from the journal;
+        finished experiments never re-execute and the final report matches
+        an uninterrupted run."""
+        started: list[str] = []
+        first = CampaignRunner(tmp_path / "resumable", _fast_config(),
+                               on_experiment_start=started.append)
+        state = first.run(stop_after=1)
+        assert state.interrupted
+        assert started == ["surface"]
+        assert state.done == {"surface"}
+
+        resumed_runner = CampaignRunner(tmp_path / "resumable",
+                                        _fast_config(),
+                                        on_experiment_start=started.append)
+        resumed = resumed_runner.run()
+        assert not resumed.interrupted
+        assert started == ["surface", "security"]  # surface not re-run
+        assert resumed.done == {"surface", "security"}
+
+        uninterrupted = CampaignRunner(tmp_path / "straight",
+                                       _fast_config()).run()
+        assert (render_campaign_report(resumed).render()
+                == render_campaign_report(uninterrupted).render())
+
+    def test_resume_refuses_a_foreign_journal(self, tmp_path):
+        CampaignRunner(tmp_path / "j", _fast_config()).run(stop_after=1)
+        other = CampaignRunner(tmp_path / "j", _fast_config(seed=99))
+        with pytest.raises(ValueError, match="different campaign"):
+            other.load_state()
+
+    def test_failed_experiment_degrades_gracefully(self, tmp_path):
+        """A crashing experiment is retried with seeded backoff, recorded
+        as failed, and rendered as a placeholder -- the campaign and the
+        report both survive."""
+        slept: list[float] = []
+        config = _fast_config(
+            isolate=False, fault=None,
+            params={"security": {"no_such_kwarg": True}})
+        runner = CampaignRunner(tmp_path / "j", config, sleep=slept.append)
+        state = runner.run()
+        assert state.done == {"surface"}
+        assert "security" in state.failures
+        assert "TypeError" in state.failures["security"]
+        assert state.attempts["security"] == 2
+        assert len(slept) == 1  # max_attempts - 1 backoff sleeps
+        rendered = render_campaign_report(state).render()
+        assert MISSING in rendered
+        assert "failed after 2 attempt(s)" in rendered
+        assert "Campaign failure summary" in rendered
+
+    def test_unknown_experiment_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown experiments"):
+            CampaignRunner(tmp_path,
+                           CampaignConfig(experiments=("nope",)))
+
+    def test_subprocess_isolation_contains_a_hard_crash(self, tmp_path):
+        """Worker death (not just an exception) must surface as a recorded
+        failure, not kill the campaign."""
+        config = _fast_config(
+            fault=None, experiments=("security", "surface"),
+            params={"security": {"attacks": ["no-such-attack"]}})
+        state = CampaignRunner(tmp_path / "j", config,
+                               sleep=lambda _s: None).run()
+        assert "security" in state.failures
+        assert state.done == {"surface"}
+
+
+@pytest.mark.faulty
+def test_smoke_campaign_under_fault_storm(tmp_path):
+    state, report = smoke_campaign(tmp_path / "journal", seed=0)
+    assert not state.failures
+    assert state.done == {"surface", "security"}
+    assert "Table 8.1" in report
+    assert "Security PoC matrix" in report
+    assert "All campaign experiments completed." in report
