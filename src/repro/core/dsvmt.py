@@ -34,6 +34,13 @@ class DSVMTStats:
     huge_hits: int = 0  # walks answered at the 2MB/1GB level
     walk_faults: int = 0  # fault-injected aborted walks
 
+    def as_metrics(self, prefix: str):
+        """(name, value) pairs for the observability collectors."""
+        yield f"{prefix}.walks", self.walks
+        yield f"{prefix}.leaf_lookups", self.leaf_lookups
+        yield f"{prefix}.huge_hits", self.huge_hits
+        yield f"{prefix}.walk_faults", self.walk_faults
+
 
 class DSVMT:
     """Three-level bit tree over physical frames for one context."""

@@ -54,6 +54,16 @@ class ViewCacheStats:
         self.hits = self.misses = self.fills = self.evictions = 0
         self.injected_misses = self.stale_drops = 0
 
+    def as_metrics(self, prefix: str):
+        """(name, value) pairs for the observability collectors."""
+        yield f"{prefix}.hits", self.hits
+        yield f"{prefix}.misses", self.misses
+        yield f"{prefix}.fills", self.fills
+        yield f"{prefix}.evictions", self.evictions
+        yield f"{prefix}.injected_misses", self.injected_misses
+        yield f"{prefix}.stale_drops", self.stale_drops
+        yield f"{prefix}.hit_rate", self.hit_rate
+
 
 class ViewCache:
     """ASID-tagged set-associative cache of view bits.

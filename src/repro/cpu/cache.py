@@ -11,6 +11,7 @@ The hierarchy (L1I, L1D, shared L2, DRAM) follows Table 7.1 of the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 
 @dataclass
@@ -35,6 +36,15 @@ class CacheStats:
 
     def reset(self) -> None:
         self.hits = self.misses = self.fills = self.evictions = self.flushes = 0
+
+    def as_metrics(self, prefix: str) -> Iterator[tuple[str, float]]:
+        """(name, value) pairs for the observability collectors."""
+        yield f"{prefix}.hits", self.hits
+        yield f"{prefix}.misses", self.misses
+        yield f"{prefix}.fills", self.fills
+        yield f"{prefix}.evictions", self.evictions
+        yield f"{prefix}.flushes", self.flushes
+        yield f"{prefix}.hit_rate", self.hit_rate
 
 
 class SetAssociativeCache:
@@ -160,18 +170,26 @@ class CacheHierarchy:
     def access_data(self, paddr: int, *, fill: bool = True,
                     touch_lru: bool = True) -> AccessResult:
         """Data-side access.  ``fill=False`` models a probe that must not
-        perturb cache state (used by attack tooling to measure latency)."""
+        perturb cache state (used by attack tooling to measure latency):
+        it goes through the stats-free ``peek`` path, so probing neither
+        installs lines nor skews the hit/miss counters the breakdown
+        experiment reports."""
+        if not fill:
+            if self.l1d.peek(paddr):
+                return AccessResult("l1", self.L1_LATENCY)
+            if self.l2.peek(paddr):
+                return AccessResult("l2", self.L1_LATENCY + self.L2_LATENCY)
+            return AccessResult(
+                "dram", self.L1_LATENCY + self.L2_LATENCY + self.DRAM_LATENCY)
         if self.l1d.lookup(paddr, touch_lru=touch_lru):
             return AccessResult("l1", self.L1_LATENCY)
         if self.l2.lookup(paddr, touch_lru=touch_lru):
-            if fill:
-                self.l1d.fill(paddr)
-                self._maybe_prefetch(paddr)
-            return AccessResult("l2", self.L1_LATENCY + self.L2_LATENCY)
-        if fill:
-            self.l2.fill(paddr)
             self.l1d.fill(paddr)
             self._maybe_prefetch(paddr)
+            return AccessResult("l2", self.L1_LATENCY + self.L2_LATENCY)
+        self.l2.fill(paddr)
+        self.l1d.fill(paddr)
+        self._maybe_prefetch(paddr)
         return AccessResult(
             "dram", self.L1_LATENCY + self.L2_LATENCY + self.DRAM_LATENCY)
 
@@ -179,10 +197,14 @@ class CacheHierarchy:
         if not self.prefetcher:
             return
         next_line = (paddr // self.LINE + 1) * self.LINE
-        if not self.l1d.peek(next_line):
-            self.l2.fill(next_line)
-            self.l1d.fill(next_line)
-            self.prefetches += 1
+        # A line resident at any level is not prefetched again: re-filling
+        # an L2-resident line would inflate both ``fills`` and
+        # ``prefetches`` without changing observable presence.
+        if self.l1d.peek(next_line) or self.l2.peek(next_line):
+            return
+        self.l2.fill(next_line)
+        self.l1d.fill(next_line)
+        self.prefetches += 1
 
     def access_inst(self, paddr: int) -> AccessResult:
         """Instruction-side access (fetch path)."""
@@ -213,7 +235,14 @@ class CacheHierarchy:
         return self.L1_LATENCY + self.L2_LATENCY + self.DRAM_LATENCY
 
     def flush_data(self, paddr: int) -> None:
-        """clflush: evict the line from the whole hierarchy."""
+        """clflush: evict the line from the whole hierarchy.
+
+        x86 clflush invalidates the line from *every* level, including
+        the instruction cache -- missing the L1I would let lines survive
+        a "whole hierarchy" flush whenever code and data share a line
+        (or an attacker probes a fetched address).
+        """
+        self.l1i.flush_line(paddr)
         self.l1d.flush_line(paddr)
         self.l2.flush_line(paddr)
 
@@ -221,3 +250,11 @@ class CacheHierarchy:
         self.l1i.stats.reset()
         self.l1d.stats.reset()
         self.l2.stats.reset()
+
+    def metrics(self) -> Iterator[tuple[str, float]]:
+        """Per-level stats plus prefetch count, for the obs collectors."""
+        for level in (self.l1i, self.l1d, self.l2):
+            yield from level.stats.as_metrics(f"cache.{level.name}")
+            yield f"cache.{level.name}.resident_lines", \
+                level.resident_lines()
+        yield "cache.prefetches", self.prefetches

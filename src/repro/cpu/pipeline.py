@@ -35,6 +35,7 @@ from repro.cpu.branch import BranchUnit
 from repro.cpu.cache import CacheHierarchy
 from repro.cpu.isa import AluOp, CodeLayout, Function, MicroOp, Op, OP_SIZE
 from repro.cpu.memsys import AddressSpace, MainMemory, PageFault, TLB
+from repro.obs import registry as obs
 
 
 @dataclass
@@ -270,6 +271,11 @@ class Pipeline:
         """
         cfg = self.config
         func = self.layout[entry] if isinstance(entry, str) else entry
+        entry_name = func.name
+        #: Front-end accounting for the observability plane (kept in
+        #: locals -- ExecResult stays serialization-stable).
+        fetch_lines = 0
+        fetch_stall = 0.0
         result = ExecResult()
         regs: dict[str, int] = dict(context.initial_regs)
         reg_ready: dict[str, float] = {}
@@ -311,9 +317,12 @@ class Pipeline:
             fetch_line = inst_va // 64
             if fetch_line != last_fetch_line:
                 last_fetch_line = fetch_line
+                fetch_lines += 1
                 access = self.hierarchy.access_inst(inst_va)
                 if not access.l1_hit:
-                    clock += access.latency - self.hierarchy.L1_LATENCY
+                    stall = access.latency - self.hierarchy.L1_LATENCY
+                    clock += stall
+                    fetch_stall += stall
             if len(rob) >= cfg.rob_entries:
                 head = rob.popleft()
                 if head > clock:
@@ -469,7 +478,60 @@ class Pipeline:
             clock += self.policy.kernel_exit_cost(context.context_id)
         result.cycles = clock
         result.regs = regs
+        registry = obs.active_registry()
+        if registry is not None:
+            self._publish_run(registry, entry_name, result,
+                              fetch_lines, fetch_stall)
         return result
+
+    def _publish_run(self, registry, entry_name: str, result: ExecResult,
+                     fetch_lines: int, fetch_stall: float) -> None:
+        """Publish one run's speculation statistics to the obs plane.
+
+        Deferred to run completion so the hot loop pays nothing beyond
+        two local accumulations; publishing only *reads* the result, so
+        enabling observability cannot change any measured number.
+        """
+        registry.add("pipeline.runs")
+        registry.add("pipeline.fetch.lines", fetch_lines)
+        registry.add("pipeline.fetch.stall_cycles", fetch_stall)
+        registry.add("pipeline.execute.loads", result.loads)
+        registry.add("pipeline.execute.speculative_loads",
+                     result.speculative_loads)
+        registry.add("pipeline.commit.ops", result.committed_ops)
+        registry.add("pipeline.transient.ops", result.transient_ops)
+        registry.add("pipeline.transient.loads_executed",
+                     result.transient_loads_executed)
+        registry.add("pipeline.transient.loads_blocked",
+                     result.transient_loads_blocked)
+        registry.add("pipeline.mispredict.conditional",
+                     result.mispredictions)
+        registry.add("pipeline.mispredict.indirect",
+                     result.indirect_mispredictions)
+        registry.add("pipeline.cfi_suppressions", result.cfi_suppressions)
+        registry.add("pipeline.fence.stall_cycles",
+                     result.fence_stall_cycles)
+        for reason, count in result.fenced_loads.items():
+            registry.add(f"pipeline.fence.reason.{reason}", count)
+        registry.observe("pipeline.run_cycles", result.cycles)
+        # Span attribution: the kernel-function node keeps the cycles not
+        # explained by a stall phase.  In this scoreboard model stalls are
+        # per-instruction waits that can overlap compute (and each other)
+        # on the critical path, so the raw components may exceed the wall
+        # cycles; the phase shares are scaled to the overlap-free stall
+        # time, keeping the subtree sum exactly equal to the run's cycles
+        # (the exact per-component figures live in the pipeline.*
+        # counters).
+        fence_stall = result.fence_stall_cycles
+        stall = fence_stall + fetch_stall
+        covered = min(stall, result.cycles)
+        scale = covered / stall if stall > 0.0 else 0.0
+        with registry.span(f"fn/{entry_name}"):
+            registry.tick(result.cycles - covered)
+            with registry.span("phase/fetch_stall"):
+                registry.tick(fetch_stall * scale)
+            with registry.span("phase/fence_stall"):
+                registry.tick(fence_stall * scale)
 
     # ------------------------------------------------------------------
     # Loads

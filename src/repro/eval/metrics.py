@@ -73,7 +73,13 @@ class FenceBreakdown:
 
     def fences_per_kiloinstruction(self, kind: str) -> float:
         if self.committed_ops == 0:
-            return 0.0
+            # Zero committed instructions means the measurement backing
+            # this breakdown never ran; returning 0.0 here used to
+            # masquerade as "no fences" in Table 10.1 (the same failure
+            # mode normalized()/geomean() now reject).
+            raise ValueError(
+                "fences_per_kiloinstruction: no committed instructions -- "
+                "the breakdown measurement is missing or empty")
         count = {"isv": self.isv_fences, "dsv": self.dsv_fences,
                  "total": self.total}[kind]
         return 1000.0 * count / self.committed_ops

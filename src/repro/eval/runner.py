@@ -247,41 +247,66 @@ class BreakdownExperiment:
         default_factory=dict)
     dsv_cache_hit_rate: dict[str, dict[str, float]] = field(
         default_factory=dict)
+    #: Observability snapshot (``MetricsRegistry.snapshot()``) when the
+    #: experiment ran with ``observe=True``; not part of the journal
+    #: payload, so campaigns stay byte-compatible either way.
+    metrics: dict | None = None
 
 
 def run_breakdown_experiment(
         workloads: tuple[str, ...] = ("lebench",) + APP_NAMES,
         schemes: tuple[str, ...] = ("perspective-static", "perspective",
                                     "perspective++"),
-        requests: int = 30) -> BreakdownExperiment:
-    """Fence attribution and view-cache hit rates under Perspective."""
+        requests: int = 30,
+        observe: bool = False) -> BreakdownExperiment:
+    """Fence attribution and view-cache hit rates under Perspective.
+
+    With ``observe=True`` the whole measurement runs inside a fresh
+    :class:`repro.obs.MetricsRegistry`; its snapshot (hot-path counters,
+    span timings, and per-env collector gauges) is attached as
+    ``experiment.metrics``.  The measured numbers are identical either
+    way -- the observability plane only reads simulated state.
+    """
+    from contextlib import nullcontext
+
+    from repro.obs import MetricsRegistry, observing
+    from repro.obs.collect import collect_env
+    registry = MetricsRegistry() if observe else None
     experiment = BreakdownExperiment()
-    for workload in workloads:
-        experiment.breakdowns[workload] = {}
-        experiment.isv_cache_hit_rate[workload] = {}
-        experiment.dsv_cache_hit_rate[workload] = {}
-        for scheme in schemes:
-            env = make_env(workload, scheme)
-            driver_stats = None
-            if workload == "lebench":
-                from repro.workloads.driver import Driver
-                from repro.workloads.lebench import exercise_all
-                driver = Driver(env.kernel, env.proc,
-                                rare_every=RARE_EVERY)
-                exercise_all(driver)
-                exercise_all(driver)
-                driver_stats = driver.stats
-            else:
-                app_workload = AppWorkload(env.kernel, env.proc,
-                                           APP_SPECS[workload],
-                                           rare_every=RARE_EVERY)
-                app_workload.serve(requests)
-                driver_stats = app_workload.driver.stats
-            experiment.breakdowns[workload][scheme] = \
-                FenceBreakdown.from_exec(driver_stats.exec)
-            fw = env.framework
-            experiment.isv_cache_hit_rate[workload][scheme] = \
-                fw.isv_cache.stats.hit_rate
-            experiment.dsv_cache_hit_rate[workload][scheme] = \
-                fw.dsv_cache.stats.hit_rate
+    # observe=False must not disturb any registry an outer caller (e.g.
+    # a campaign) already activated, hence nullcontext over observing(None).
+    with observing(registry) if registry is not None else nullcontext():
+        for workload in workloads:
+            experiment.breakdowns[workload] = {}
+            experiment.isv_cache_hit_rate[workload] = {}
+            experiment.dsv_cache_hit_rate[workload] = {}
+            for scheme in schemes:
+                env = make_env(workload, scheme)
+                driver_stats = None
+                if workload == "lebench":
+                    from repro.workloads.driver import Driver
+                    from repro.workloads.lebench import exercise_all
+                    driver = Driver(env.kernel, env.proc,
+                                    rare_every=RARE_EVERY)
+                    exercise_all(driver)
+                    exercise_all(driver)
+                    driver_stats = driver.stats
+                else:
+                    app_workload = AppWorkload(env.kernel, env.proc,
+                                               APP_SPECS[workload],
+                                               rare_every=RARE_EVERY)
+                    app_workload.serve(requests)
+                    driver_stats = app_workload.driver.stats
+                experiment.breakdowns[workload][scheme] = \
+                    FenceBreakdown.from_exec(driver_stats.exec)
+                fw = env.framework
+                experiment.isv_cache_hit_rate[workload][scheme] = \
+                    fw.isv_cache.stats.hit_rate
+                experiment.dsv_cache_hit_rate[workload][scheme] = \
+                    fw.dsv_cache.stats.hit_rate
+                if registry is not None:
+                    collect_env(registry, env.kernel, fw,
+                                prefix=f"{workload}.{scheme}")
+    if registry is not None:
+        experiment.metrics = registry.snapshot()
     return experiment

@@ -29,6 +29,14 @@ class BuddyStats:
     #: Fault-injected transient allocation failures.
     injected_failures: int = 0
 
+    def as_metrics(self, prefix: str):
+        """(name, value) pairs for the observability collectors."""
+        yield f"{prefix}.allocations", self.allocations
+        yield f"{prefix}.frees", self.frees
+        yield f"{prefix}.splits", self.splits
+        yield f"{prefix}.merges", self.merges
+        yield f"{prefix}.injected_failures", self.injected_failures
+
 
 #: Callback signature: (first_frame, num_frames, owner_id | None).
 OwnershipHook = Callable[[int, int, int | None], None]

@@ -92,6 +92,16 @@ class SlabStats:
             return 0.0
         return self.reassignment_frees / self.frees
 
+    def as_metrics(self, prefix: str):
+        """(name, value) pairs for the observability collectors."""
+        yield f"{prefix}.allocations", self.allocations
+        yield f"{prefix}.frees", self.frees
+        yield f"{prefix}.pages_acquired", self.pages_acquired
+        yield f"{prefix}.pages_released", self.pages_released
+        yield f"{prefix}.alloc_retries", self.alloc_retries
+        yield f"{prefix}.reassignment_frees", self.reassignment_frees
+        yield f"{prefix}.page_return_ratio", self.page_return_ratio
+
 
 class _SlabCore:
     """Machinery shared by the baseline and secure allocators."""

@@ -43,6 +43,9 @@ class KernelTracer:
         self._functions_by_context.clear()
         self._syscalls_by_context.clear()
         self._entry_counts.clear()
+        # A reused tracer must not carry drop counts from a previous
+        # campaign into the next one's accounting.
+        self.dropped_entries = 0
 
     # -- pipeline hook ---------------------------------------------------
 
@@ -74,3 +77,15 @@ class KernelTracer:
 
     def contexts(self) -> list[int]:
         return list(self._functions_by_context)
+
+    # -- observability ----------------------------------------------------
+
+    def metrics(self) -> list[tuple[str, float]]:
+        """Records kept/dropped (and profile size) for the obs plane."""
+        kept = sum(self._entry_counts.values())
+        return [
+            ("tracer.records_kept", kept),
+            ("tracer.records_dropped", self.dropped_entries),
+            ("tracer.distinct_functions", len(self._entry_counts)),
+            ("tracer.contexts", len(self._functions_by_context)),
+        ]

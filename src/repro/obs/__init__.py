@@ -1,0 +1,50 @@
+"""repro.obs -- the deterministic observability plane.
+
+A process-wide :class:`MetricsRegistry` of named counters, gauges, and
+fixed-bucket histograms, plus lightweight span tracing, all keyed by
+*simulated* cycles (never wall clock) so snapshots are byte-reproducible
+under a fixed seed.  Instrumented modules publish through the module-
+level hooks (:func:`add`, :func:`observe`, :func:`span`, :func:`tick`),
+which cost one global read when no registry is active; :func:`observing`
+scopes a registry to a ``with`` block.
+
+See ``python -m repro.obs --help`` for the snapshot CLI.
+"""
+
+from repro.obs.collect import (
+    collect_cache_hierarchy,
+    collect_env,
+    collect_framework,
+    collect_kernel,
+)
+from repro.obs.registry import (
+    DEFAULT_CYCLE_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    SpanStats,
+    active_registry,
+    add,
+    gauge,
+    observe,
+    observing,
+    span,
+    tick,
+)
+
+__all__ = [
+    "DEFAULT_CYCLE_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanStats",
+    "active_registry",
+    "add",
+    "collect_cache_hierarchy",
+    "collect_env",
+    "collect_framework",
+    "collect_kernel",
+    "gauge",
+    "observe",
+    "observing",
+    "span",
+    "tick",
+]

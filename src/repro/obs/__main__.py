@@ -1,0 +1,112 @@
+"""CLI entry point: ``python -m repro.obs``.
+
+Runs a small workload matrix with the observability plane armed and
+prints (or saves) the resulting metrics snapshot.  Everything in the
+snapshot derives from simulated cycles and seeded workloads, so two
+invocations with the same arguments produce **byte-identical** output --
+the CI smoke step diffs a committed snapshot against a fresh run to keep
+the plane (and the counters it reads) honest.
+
+Usage::
+
+    python -m repro.obs                 # default matrix, Prometheus text
+    python -m repro.obs --smoke         # trimmed CI matrix
+    python -m repro.obs --json          # canonical JSON to stdout
+    python -m repro.obs -o snap.json    # also save the JSON snapshot
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.collect import collect_env
+from repro.obs.registry import MetricsRegistry, observing
+
+#: The default workload x scheme matrix (kept small: this is a
+#: profiling smoke, not the paper evaluation).
+DEFAULT_WORKLOADS = ("lebench", "httpd")
+DEFAULT_SCHEMES = ("unsafe", "fence", "perspective")
+SMOKE_WORKLOADS = ("lebench",)
+SMOKE_SCHEMES = ("unsafe", "perspective")
+APP_REQUESTS = 12
+
+
+def run_workload_matrix(workloads: tuple[str, ...] = DEFAULT_WORKLOADS,
+                        schemes: tuple[str, ...] = DEFAULT_SCHEMES,
+                        seed: int = 0,
+                        requests: int = APP_REQUESTS) -> MetricsRegistry:
+    """Run the matrix under one registry and return it.
+
+    Hot-path counters (``pipeline.*``, ``campaign.*``) aggregate across
+    the whole matrix; per-environment figures are published as prefixed
+    gauges (``<workload>.<scheme>.cache.l1d.hits``) by the collectors,
+    and spans nest ``env/<workload>.<scheme>/syscall/<name>/...``.
+    """
+    from repro.eval.envs import RARE_EVERY, make_env
+    from repro.workloads.apps import APP_SPECS, AppWorkload
+    from repro.workloads.driver import Driver
+    from repro.workloads.lebench import exercise_all
+
+    registry = MetricsRegistry(meta={
+        "plane": "repro.obs", "seed": seed,
+        "workloads": list(workloads), "schemes": list(schemes),
+        "requests": requests,
+    })
+    with observing(registry):
+        for workload in workloads:
+            for scheme in schemes:
+                with registry.span(f"env/{workload}.{scheme}"):
+                    # Environment construction itself drives syscalls
+                    # (dynamic-ISV profiling runs); keep them under a
+                    # ``setup`` node so they never blend into the
+                    # measurement's syscall spans.
+                    with registry.span("setup"):
+                        env = make_env(workload, scheme)
+                    if workload == "lebench":
+                        driver = Driver(env.kernel, env.proc,
+                                        rare_every=RARE_EVERY)
+                        exercise_all(driver)
+                    else:
+                        app = AppWorkload(env.kernel, env.proc,
+                                          APP_SPECS[workload],
+                                          rare_every=RARE_EVERY)
+                        app.serve(requests)
+                collect_env(registry, env.kernel, env.framework,
+                            prefix=f"{workload}.{scheme}")
+    return registry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="run a small workload matrix under the deterministic "
+                    "observability plane and emit the metrics snapshot")
+    parser.add_argument("--smoke", action="store_true",
+                        help="trimmed CI matrix (lebench x unsafe/"
+                             "perspective)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="recorded in the snapshot meta (the workloads "
+                             "are internally seeded and deterministic)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the canonical JSON snapshot instead of "
+                             "the Prometheus-style text")
+    parser.add_argument("-o", "--out", metavar="FILE",
+                        help="also write the JSON snapshot to FILE")
+    args = parser.parse_args(argv)
+
+    workloads = SMOKE_WORKLOADS if args.smoke else DEFAULT_WORKLOADS
+    schemes = SMOKE_SCHEMES if args.smoke else DEFAULT_SCHEMES
+    registry = run_workload_matrix(workloads, schemes, seed=args.seed)
+
+    rendered_json = registry.to_json(indent=1) + "\n"
+    print(rendered_json if args.json else registry.to_text(), end="")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered_json)
+        print(f"snapshot written to {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

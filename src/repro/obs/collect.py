@@ -1,0 +1,81 @@
+"""Snapshot collectors: pull module-local stats into a registry.
+
+The simulator's subsystems each keep their own stats dataclasses
+(:class:`~repro.cpu.cache.CacheStats`,
+:class:`~repro.core.hardware.ViewCacheStats`, ...).  Collectors read
+those objects *at snapshot time* and publish them as gauges, so the hot
+paths pay nothing extra while a registry is active -- only the final
+collection walks the stats.
+
+Collectors are duck-typed (they only touch public attributes/methods),
+so this module imports nothing from the rest of ``repro`` and can never
+introduce an import cycle.
+
+Use :func:`collect_env` for a full (kernel, framework) pair, optionally
+prefixed so one registry can hold a whole workload x scheme matrix::
+
+    reg = MetricsRegistry()
+    collect_env(reg, env.kernel, env.framework,
+                prefix=f"{workload}.{scheme}")
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import MetricsRegistry
+
+
+def _publish(reg: MetricsRegistry, prefix: str, items) -> None:
+    for name, value in items:
+        reg.gauge(f"{prefix}{name}", value)
+
+
+def collect_cache_hierarchy(reg: MetricsRegistry, hierarchy,
+                            prefix: str = "") -> None:
+    """Per-level hit/miss/fill/eviction/flush gauges + prefetch count."""
+    _publish(reg, f"{prefix}." if prefix else "", hierarchy.metrics())
+
+
+def collect_framework(reg: MetricsRegistry, framework,
+                      prefix: str = "") -> None:
+    """ISV/DSV view-cache stats plus aggregate DSVMT walk figures."""
+    p = f"{prefix}." if prefix else ""
+    for cache in (framework.isv_cache, framework.dsv_cache):
+        _publish(reg, p, cache.stats.as_metrics(f"viewcache.{cache.name}"))
+        reg.gauge(f"{p}viewcache.{cache.name}.resident", cache.resident())
+    registry = framework.dsv_registry
+    totals = {"walks": 0, "leaf_lookups": 0, "huge_hits": 0,
+              "walk_faults": 0}
+    for ctx in sorted(registry.contexts()):
+        stats = registry.dsvmt_for(ctx).stats
+        for name, value in stats.as_metrics("dsvmt"):
+            key = name.rsplit(".", 1)[1]
+            totals[key] += value
+    for key in sorted(totals):
+        reg.gauge(f"{p}dsvmt.{key}", totals[key])
+    reg.gauge(f"{p}dsv.owned_frames", registry.owned_frames())
+    reg.gauge(f"{p}dsv.assign_events", registry.assign_events)
+    reg.gauge(f"{p}dsv.release_events", registry.release_events)
+    reg.gauge(f"{p}dsv.dropped_assign_events",
+              registry.dropped_assign_events)
+
+
+def collect_kernel(reg: MetricsRegistry, kernel, prefix: str = "") -> None:
+    """Cache hierarchy, allocators, and tracer figures for one kernel."""
+    p = f"{prefix}." if prefix else ""
+    collect_cache_hierarchy(reg, kernel.hierarchy, prefix=prefix)
+    _publish(reg, p, kernel.buddy.stats.as_metrics("buddy"))
+    reg.gauge(f"{p}buddy.free_frames", kernel.buddy.free_frames())
+    reg.gauge(f"{p}buddy.allocated_frames", kernel.buddy.allocated_frames())
+    _publish(reg, p, kernel.slab.stats.as_metrics("slab"))
+    reg.gauge(f"{p}slab.live_objects", kernel.slab.live_objects())
+    reg.gauge(f"{p}slab.utilization", kernel.slab.utilization())
+    _publish(reg, p, kernel.tracer.metrics())
+    reg.gauge(f"{p}kernel.syscalls", kernel.syscall_count)
+
+
+def collect_env(reg: MetricsRegistry, kernel, framework=None,
+                prefix: str = "") -> None:
+    """Everything observable about one measurement environment."""
+    collect_kernel(reg, kernel, prefix=prefix)
+    if framework is not None:
+        collect_framework(reg, framework, prefix=prefix)

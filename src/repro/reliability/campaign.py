@@ -42,6 +42,7 @@ from repro.eval.runner import (
     run_lebench_experiment,
     run_surface_experiment,
 )
+from repro.obs import registry as obs
 from repro.reliability import serde
 from repro.reliability.faultplane import FaultPlane, FaultSpec, inject
 
@@ -176,12 +177,15 @@ def _campaign_worker(name: str, params: dict[str, Any],
     """Subprocess entry point: run one experiment, ship its payload."""
     try:
         spec = EXPERIMENTS[name]
+        fires: dict[str, int] = {}
         if fault is not None:
-            with inject(FaultPlane.from_dict(fault)):
+            with inject(FaultPlane.from_dict(fault)) as plane:
                 result = spec.run(**params)
+            fires = dict(plane.fires)
         else:
             result = spec.run(**params)
-        conn.send({"ok": True, "payload": spec.to_payload(result)})
+        conn.send({"ok": True, "payload": spec.to_payload(result),
+                   "fault_fires": fires})
     except BaseException as exc:  # noqa: BLE001 -- report, don't crash silently
         conn.send({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
     finally:
@@ -287,14 +291,21 @@ class CampaignRunner:
         delays: list[float] = []
         error = "never attempted"
         for attempt in range(1, self.config.max_attempts + 1):
-            ok, payload_or_error = self._attempt(name, params)
+            with obs.span(f"experiment/{name}"):
+                ok, payload_or_error, fires = self._attempt(name, params)
+            obs.add(f"campaign.{name}.attempts")
+            for point in sorted(fires):
+                obs.add(f"campaign.{name}.fault_fires.{point}",
+                        fires[point])
             if ok:
+                obs.add(f"campaign.{name}.done")
                 return {"event": "experiment", "name": name,
                         "status": "done", "attempts": attempt,
                         "retry_delays": delays, "error": None,
                         "payload": payload_or_error}
             error = payload_or_error
             if attempt < self.config.max_attempts:
+                obs.add(f"campaign.{name}.retries")
                 # Exponential backoff with seeded jitter in [0.5, 1.5):
                 # reproducible from the campaign seed, no wall clock.
                 delay = min(self.config.backoff_cap_s,
@@ -302,24 +313,28 @@ class CampaignRunner:
                 delay *= 0.5 + backoff.random()
                 delays.append(round(delay, 6))
                 self._sleep(delay)
+        obs.add(f"campaign.{name}.failures")
         return {"event": "experiment", "name": name, "status": "failed",
                 "attempts": self.config.max_attempts,
                 "retry_delays": delays, "error": error, "payload": None}
 
-    def _attempt(self, name: str,
-                 params: dict[str, Any]) -> tuple[bool, Any]:
+    def _attempt(self, name: str, params: dict[str, Any],
+                 ) -> tuple[bool, Any, dict[str, int]]:
+        """One execution attempt: (ok, payload_or_error, fault_fires)."""
         fault = self.config.fault.to_dict() if self.config.fault else None
         if not self.config.isolate:
             spec = EXPERIMENTS[name]
             try:
+                fires: dict[str, int] = {}
                 if fault is not None:
-                    with inject(FaultPlane.from_dict(fault)):
+                    with inject(FaultPlane.from_dict(fault)) as plane:
                         result = spec.run(**params)
+                    fires = dict(plane.fires)
                 else:
                     result = spec.run(**params)
-                return True, spec.to_payload(result)
+                return True, spec.to_payload(result), fires
             except Exception as exc:  # noqa: BLE001
-                return False, f"{type(exc).__name__}: {exc}"
+                return False, f"{type(exc).__name__}: {exc}", {}
         try:
             ctx = multiprocessing.get_context("fork")
         except ValueError:
@@ -341,13 +356,14 @@ class CampaignRunner:
             proc.terminate()
             proc.join()
             if message is None:
-                return False, f"timeout after {timeout}s"
+                return False, f"timeout after {timeout}s", {}
         parent_conn.close()
         if message is None:
-            return False, f"worker crashed (exit code {proc.exitcode})"
+            return False, f"worker crashed (exit code {proc.exitcode})", {}
+        fires = message.get("fault_fires", {})
         if message["ok"]:
-            return True, message["payload"]
-        return False, message["error"]
+            return True, message["payload"], fires
+        return False, message["error"], fires
 
 
 def smoke_campaign(journal_dir: str | pathlib.Path,

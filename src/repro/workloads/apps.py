@@ -21,6 +21,7 @@ from repro.analysis.binary import APPLICATIONS, ApplicationBinary
 from repro.kernel.kernel import MiniKernel
 from repro.kernel.layout import PAGE_SIZE
 from repro.kernel.process import Process
+from repro.obs import registry as obs
 from repro.workloads.driver import Driver
 
 
@@ -152,8 +153,9 @@ class AppWorkload:
         if measure:
             self.driver.reset_stats()
         for _ in range(requests):
-            self.spec.request(self.driver, self.state,
-                              self._request_counter)
+            with obs.span(f"request/{self.spec.name}"):
+                self.spec.request(self.driver, self.state,
+                                  self._request_counter)
             self._request_counter += 1
         stats = self.driver.stats
         return AppRunResult(app=self.spec.name, requests=requests,

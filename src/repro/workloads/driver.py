@@ -19,6 +19,7 @@ from repro.cpu.pipeline import ExecResult
 from repro.kernel.image import RARE_PATH_MAGIC
 from repro.kernel.kernel import MiniKernel, SyscallResult
 from repro.kernel.process import Process
+from repro.obs import registry as obs
 
 #: Syscalls whose second argument carries no semantic meaning in the
 #: kernel model, so the driver may use it for rare-path injection.
@@ -67,7 +68,22 @@ class Driver:
                 and self._counter % self.rare_every == 0):
             padded = list(args) + [0] * (2 - len(args))
             args = (padded[0], RARE_PATH_MAGIC, *padded[2:])
-        result = self.kernel.syscall(self.proc, name, args=args, spin=spin)
+        registry = obs.active_registry()
+        if registry is None:
+            result = self.kernel.syscall(self.proc, name, args=args,
+                                         spin=spin)
+        else:
+            # Span nesting: syscall/<name> here, fn/<entry>/phase/* from
+            # the pipeline inside.  The driver node keeps only the trap
+            # cost as self cycles, so the subtree sums to result.cycles.
+            with registry.span(f"syscall/{name}"):
+                result = self.kernel.syscall(self.proc, name, args=args,
+                                             spin=spin)
+                exec_cycles = result.exec_result.cycles \
+                    if result.exec_result is not None else 0.0
+                registry.tick(result.cycles - exec_cycles)
+            registry.add("driver.syscalls")
+            registry.observe("driver.syscall_cycles", result.cycles)
         self.stats.add(result)
         return result
 

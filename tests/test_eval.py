@@ -55,6 +55,13 @@ class TestMetrics:
         assert fb.fences_per_kiloinstruction("total") == \
             pytest.approx(105.0)
 
+    def test_fence_rate_rejects_missing_measurement(self):
+        # committed_ops == 0 means the breakdown never ran; 0.0 would
+        # masquerade as "no fences" in Table 10.1.
+        fb = FenceBreakdown(isv_fences=3)
+        with pytest.raises(ValueError, match="no committed instructions"):
+            fb.fences_per_kiloinstruction("isv")
+
 
 class TestEnvironments:
     @pytest.mark.parametrize("scheme", ALL_SCHEMES)

@@ -1,0 +1,323 @@
+"""Tests for the deterministic observability plane (repro.obs)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_CYCLE_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    active_registry,
+    collect_env,
+    observing,
+)
+from repro.obs import registry as obs_hooks
+
+
+class TestHistogram:
+    def test_observe_buckets_and_overflow(self):
+        hist = Histogram(buckets=(10.0, 100.0))
+        for value in (5, 50, 500):
+            hist.observe(value)
+        assert hist.counts == [1, 1]
+        assert hist.overflow == 1
+        assert hist.n == 3
+        assert hist.total == 555
+
+    def test_boundary_is_inclusive(self):
+        hist = Histogram(buckets=(10.0, 100.0))
+        hist.observe(10.0)
+        assert hist.counts == [1, 0]
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError, match="not sorted"):
+            Histogram(buckets=(100.0, 10.0))
+
+    def test_default_buckets(self):
+        assert Histogram().buckets == DEFAULT_CYCLE_BUCKETS
+
+
+class TestRegistryPrimitives:
+    def test_counters_accumulate(self):
+        reg = MetricsRegistry()
+        reg.add("x")
+        reg.add("x", 4)
+        assert reg.counter("x") == 5
+        assert reg.counter("absent") == 0
+
+    def test_gauges_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", 1.0)
+        reg.gauge("g", 2.0)
+        assert reg.gauge_value("g") == 2.0
+
+    def test_histogram_buckets_fixed_after_first_observation(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 5.0, buckets=(10.0, 100.0))
+        reg.observe("h", 50.0)  # None buckets: fine
+        with pytest.raises(ValueError, match="already registered"):
+            reg.observe("h", 5.0, buckets=(1.0, 2.0))
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.add("c")
+        reg.gauge("g", 1.0)
+        reg.observe("h", 1.0)
+        with reg.span("s"):
+            reg.tick(5.0)
+        reg.clear()
+        assert reg.snapshot()["counters"] == {}
+        assert reg.snapshot()["spans"] == {}
+
+
+class TestSpans:
+    def test_nesting_builds_slash_paths(self):
+        reg = MetricsRegistry()
+        with reg.span("syscall/read"):
+            reg.tick(10.0)
+            with reg.span("fn/sys_read"):
+                reg.tick(90.0)
+        assert reg.span_stats("syscall/read").cycles == 10.0
+        assert reg.span_stats("syscall/read/fn/sys_read").cycles == 90.0
+
+    def test_span_total_is_inclusive(self):
+        reg = MetricsRegistry()
+        with reg.span("a"):
+            reg.tick(1.0)
+            with reg.span("b"):
+                reg.tick(2.0)
+            with reg.span("c"):
+                reg.tick(4.0)
+        assert reg.span_total("a") == 7.0
+        assert reg.span_total("a/b") == 2.0
+
+    def test_counts_accumulate_per_entry(self):
+        reg = MetricsRegistry()
+        for _ in range(3):
+            with reg.span("s"):
+                pass
+        assert reg.span_stats("s").count == 3
+
+    def test_tick_outside_any_span_lands_on_root(self):
+        reg = MetricsRegistry()
+        reg.tick(5.0)
+        assert reg.span_stats("").cycles == 5.0
+
+    def test_span_stack_unwinds_on_exception(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.span("outer"):
+                with reg.span("inner"):
+                    raise RuntimeError("boom")
+        with reg.span("after"):
+            reg.tick(1.0)
+        assert reg.span_stats("after").cycles == 1.0
+
+
+class TestModuleHooks:
+    def test_inactive_hooks_are_noops(self):
+        assert active_registry() is None
+        obs_hooks.add("x")
+        obs_hooks.gauge("g", 1.0)
+        obs_hooks.observe("h", 1.0)
+        obs_hooks.tick(1.0)
+        with obs_hooks.span("s"):
+            pass  # nothing recorded, nothing raised
+
+    def test_observing_scopes_and_restores(self):
+        reg = MetricsRegistry()
+        with observing(reg):
+            assert active_registry() is reg
+            obs_hooks.add("hits")
+        assert active_registry() is None
+        assert reg.counter("hits") == 1
+
+    def test_observing_nests(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with observing(outer):
+            with observing(inner):
+                obs_hooks.add("x")
+            obs_hooks.add("x")
+        assert inner.counter("x") == 1
+        assert outer.counter("x") == 1
+
+    def test_observing_none_deactivates(self):
+        reg = MetricsRegistry()
+        with observing(reg):
+            with observing(None):
+                obs_hooks.add("x")
+                assert active_registry() is None
+            assert active_registry() is reg
+        assert reg.counter("x") == 0
+
+
+class TestExporters:
+    def _populated(self) -> MetricsRegistry:
+        reg = MetricsRegistry(meta={"seed": 0})
+        reg.add("cache.l1d.hits", 3)
+        reg.gauge("slab.utilization", 0.5)
+        reg.observe("run_cycles", 42.0, buckets=(10.0, 100.0))
+        with reg.span("syscall/read"):
+            reg.tick(7.0)
+        return reg
+
+    def test_json_is_canonical_and_parseable(self):
+        reg = self._populated()
+        snap = json.loads(reg.to_json())
+        assert snap["counters"]["cache.l1d.hits"] == 3
+        assert snap["spans"]["syscall/read"]["cycles"] == 7.0
+        # Canonical: re-dumping with sorted keys is a fixpoint.
+        assert reg.to_json() == json.dumps(
+            snap, sort_keys=True, separators=(",", ":"))
+
+    def test_text_exposition_format(self):
+        text = self._populated().to_text()
+        assert "# TYPE cache_l1d_hits counter" in text
+        assert "cache_l1d_hits 3" in text
+        assert "# TYPE slab_utilization gauge" in text
+        assert 'run_cycles_bucket{le="100"} 1' in text
+        assert 'run_cycles_bucket{le="+Inf"} 1' in text
+        assert "run_cycles_sum 42" in text
+        assert "span_syscall_read_cycles 7" in text
+
+    def test_snapshot_keys_sorted(self):
+        reg = MetricsRegistry()
+        reg.add("b")
+        reg.add("a")
+        assert list(reg.snapshot()["counters"]) == ["a", "b"]
+
+
+class TestDeterminism:
+    def _run_once(self) -> str:
+        from repro.obs.__main__ import run_workload_matrix
+        return run_workload_matrix(("lebench",), ("perspective",)).to_json()
+
+    def test_two_seeded_runs_are_byte_identical(self):
+        assert self._run_once() == self._run_once()
+
+    def test_snapshot_has_expected_sections(self):
+        from repro.obs.__main__ import run_workload_matrix
+        reg = run_workload_matrix(("lebench",), ("unsafe", "perspective"))
+        snap = reg.snapshot()
+        assert snap["counters"]["pipeline.runs"] > 0
+        assert snap["counters"]["driver.syscalls"] > 0
+        assert "lebench.unsafe.cache.l1d.hits" in snap["gauges"]
+        assert "lebench.unsafe.buddy.allocations" in snap["gauges"]
+        # The UNSAFE baseline has no Perspective framework, so only the
+        # perspective env publishes view-cache figures.
+        assert "lebench.unsafe.viewcache.isv.hits" not in snap["gauges"]
+        assert "lebench.perspective.viewcache.isv.hits" in snap["gauges"]
+        assert "lebench.perspective.dsvmt.walks" in snap["gauges"]
+        assert snap["histograms"]["driver.syscall_cycles"]["count"] > 0
+
+    def test_span_tree_sums_to_syscall_cycles(self):
+        from repro.obs.__main__ import run_workload_matrix
+        reg = run_workload_matrix(("lebench",), ("perspective",))
+        snap = reg.snapshot()
+        # Every span lives under the env node and self-cycles are
+        # non-negative, so subtree sums are meaningful inclusive totals.
+        total = sum(s["cycles"] for s in snap["spans"].values())
+        assert all(s["cycles"] >= 0 for s in snap["spans"].values())
+        assert reg.span_total("env/lebench.perspective") == \
+            pytest.approx(total)
+
+
+class TestObservabilityIsNeutral:
+    def test_breakdown_results_identical_with_and_without(self):
+        from repro.eval.runner import run_breakdown_experiment
+        kwargs = dict(workloads=("lebench",), schemes=("perspective",),
+                      requests=6)
+        plain = run_breakdown_experiment(observe=False, **kwargs)
+        observed = run_breakdown_experiment(observe=True, **kwargs)
+        assert plain.metrics is None
+        assert observed.metrics is not None
+        assert plain.breakdowns == observed.breakdowns
+        assert plain.isv_cache_hit_rate == observed.isv_cache_hit_rate
+        assert plain.dsv_cache_hit_rate == observed.dsv_cache_hit_rate
+
+    def test_breakdown_snapshot_carries_env_gauges(self):
+        from repro.eval.runner import run_breakdown_experiment
+        exp = run_breakdown_experiment(workloads=("lebench",),
+                                       schemes=("perspective",),
+                                       requests=6, observe=True)
+        gauges = exp.metrics["gauges"]
+        assert "lebench.perspective.cache.l1d.hits" in gauges
+        assert "lebench.perspective.dsvmt.walks" in gauges
+
+    def test_breakdown_payload_unchanged_by_observe(self):
+        from repro.eval.runner import run_breakdown_experiment
+        from repro.reliability import serde
+        exp = run_breakdown_experiment(workloads=("lebench",),
+                                       schemes=("perspective",),
+                                       requests=6, observe=True)
+        payload = serde.breakdown_to_payload(exp)
+        assert "metrics" not in payload  # journal schema is stable
+        rebuilt = serde.breakdown_from_payload(payload)
+        assert rebuilt.breakdowns == exp.breakdowns
+
+
+class TestCollectors:
+    def test_collect_env_prefixes(self, kernel):
+        reg = MetricsRegistry()
+        proc = kernel.create_process("app")
+        kernel.syscall(proc, "getpid")
+        collect_env(reg, kernel, prefix="w.s")
+        gauges = reg.snapshot()["gauges"]
+        assert gauges["w.s.kernel.syscalls"] >= 1
+        assert "w.s.cache.l1d.hits" in gauges
+        assert "w.s.slab.utilization" in gauges
+        assert "w.s.tracer.records_dropped" in gauges
+
+    def test_collect_env_unprefixed(self, kernel):
+        reg = MetricsRegistry()
+        collect_env(reg, kernel)
+        assert "buddy.allocations" in reg.snapshot()["gauges"]
+
+
+class TestCampaignCounters:
+    def test_campaign_publishes_attempt_counters(self, tmp_path):
+        from repro.reliability.campaign import (
+            CampaignConfig, CampaignRunner)
+        reg = MetricsRegistry()
+        config = CampaignConfig(fast=True, isolate=False,
+                                experiments=("surface",))
+        with observing(reg):
+            state = CampaignRunner(tmp_path, config).run()
+        assert state.done == {"surface"}
+        assert reg.counter("campaign.surface.attempts") == 1
+        assert reg.counter("campaign.surface.done") == 1
+        assert reg.counter("campaign.surface.retries") == 0
+        assert reg.span_stats("experiment/surface").count == 1
+
+    def test_campaign_journal_unchanged_by_observation(self, tmp_path):
+        from repro.reliability.campaign import (
+            CampaignConfig, CampaignRunner, JOURNAL_NAME)
+        config = CampaignConfig(fast=True, isolate=False,
+                                experiments=("surface",))
+        CampaignRunner(tmp_path / "plain", config).run()
+        with observing(MetricsRegistry()):
+            CampaignRunner(tmp_path / "observed", config).run()
+        plain = (tmp_path / "plain" / JOURNAL_NAME).read_text()
+        observed = (tmp_path / "observed" / JOURNAL_NAME).read_text()
+        assert plain == observed
+
+
+class TestCli:
+    def test_smoke_json_deterministic_and_saved(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+        out = tmp_path / "snap.json"
+        assert main(["--smoke", "--json", "-o", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert out.read_text() == printed
+        snap = json.loads(printed)
+        assert snap["meta"]["workloads"] == ["lebench"]
+        assert snap["counters"]["pipeline.runs"] > 0
+
+    def test_smoke_text_output(self, capsys):
+        from repro.obs.__main__ import main
+        assert main(["--smoke"]) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE pipeline_runs counter" in text

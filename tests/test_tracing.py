@@ -67,3 +67,19 @@ class TestTracer:
         kernel.tracer.clear()
         assert kernel.tracer.traced_functions(proc.cgroup.cg_id) == \
             frozenset()
+
+    def test_clear_resets_drop_count(self, kernel):
+        # A reused tracer must not carry a previous campaign's buffer
+        # drops into the next one's accounting.
+        kernel.tracer.dropped_entries = 7
+        kernel.tracer.clear()
+        assert kernel.tracer.dropped_entries == 0
+
+    def test_metrics_report_kept_and_dropped(self, kernel, proc):
+        kernel.tracer.start()
+        kernel.syscall(proc, "getpid")
+        kernel.tracer.stop()
+        metrics = dict(kernel.tracer.metrics())
+        assert metrics["tracer.records_kept"] > 0
+        assert metrics["tracer.records_dropped"] == 0
+        assert metrics["tracer.contexts"] == 1
