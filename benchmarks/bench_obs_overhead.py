@@ -1,0 +1,115 @@
+"""Observability overhead: the "near-free when inactive" promise, measured.
+
+The forensics plane (:mod:`repro.obs`) leaves its hooks compiled into the
+pipeline, the view machinery, and the DSVMT walker at all times; arming is
+a module-level global check.  This benchmark drives the full LEBench suite
+under four hook configurations and reports wall time per configuration:
+
+* ``inactive`` -- hooks present, nothing armed (the tax every run pays)
+* ``journal``  -- security-event journal armed (:mod:`repro.obs.events`)
+* ``metrics``  -- metrics/span registry armed (:mod:`repro.obs.registry`)
+* ``both``     -- full forensics plane (journal + registry)
+
+Besides the rendered table, each run appends one machine-readable point
+to ``benchmarks/out/BENCH_obs_overhead.txt`` so the overhead trajectory
+can be tracked across commits.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+
+from conftest import run_once
+
+from repro.eval.envs import RARE_EVERY, make_env
+from repro.obs import EventJournal, MetricsRegistry, journaling, observing
+from repro.workloads.driver import Driver
+from repro.workloads.lebench import exercise_all
+
+REPS = 5
+TRAJECTORY = "BENCH_obs_overhead.txt"
+HEADER = ("# repro.obs overhead trajectory: LEBench wall time (best of "
+          f"{REPS}) per hook configuration; one line per benchmark run.\n")
+
+
+def _timed_run(arm) -> tuple[float, int]:
+    """Best-of wall time for one armed LEBench run.
+
+    Environment construction stays outside the timed region so every
+    configuration measures the same driven work.
+    """
+    best = float("inf")
+    events = 0
+    for _ in range(REPS):
+        env = make_env("lebench", "perspective")
+        driver = Driver(env.kernel, env.proc, rare_every=RARE_EVERY)
+        journal = EventJournal()
+        with arm(journal):
+            start = time.perf_counter()
+            exercise_all(driver)
+            best = min(best, time.perf_counter() - start)
+        events = max(events, journal.emitted)
+    return best, events
+
+
+CONFIGS = {
+    "inactive": lambda journal: contextlib.nullcontext(),
+    "journal": lambda journal: journaling(journal),
+    "metrics": lambda journal: observing(MetricsRegistry()),
+    "both": lambda journal: _both(journal),
+}
+
+
+@contextlib.contextmanager
+def _both(journal):
+    with observing(MetricsRegistry()), journaling(journal):
+        yield
+
+
+def _measure() -> dict[str, tuple[float, int]]:
+    return {name: _timed_run(arm) for name, arm in CONFIGS.items()}
+
+
+def _render(results: dict[str, tuple[float, int]]) -> str:
+    base, _ = results["inactive"]
+    lines = [f"observability overhead on LEBench (best of {REPS})",
+             f"{'config':<10} {'wall_s':>9} {'vs inactive':>12} "
+             f"{'journal events':>15}"]
+    for name, (wall, events) in results.items():
+        delta = ("--" if name == "inactive"
+                 else f"{(wall / base - 1.0) * 100.0:+.1f}%")
+        lines.append(f"{name:<10} {wall:>9.4f} {delta:>12} {events:>15}")
+    _, journal_events = results["journal"]
+    if journal_events:
+        per_event = (results["journal"][0] - base) / journal_events * 1e9
+        lines.append(f"per-event journal cost: {per_event:.0f} ns "
+                     f"({journal_events} events)")
+    return "\n".join(lines)
+
+
+def _append_point(artifact_dir, results) -> None:
+    path = artifact_dir / TRAJECTORY
+    point = " ".join(f"{name}={wall:.4f}s"
+                     for name, (wall, _) in results.items())
+    point += f" journal_events={results['journal'][1]}\n"
+    if path.exists():
+        path.write_text(path.read_text() + point)
+    else:
+        path.write_text(HEADER + point)
+
+
+def test_obs_overhead(benchmark, artifact_dir, emit):
+    results = run_once(benchmark, _measure)
+    emit(_render(results))
+    _append_point(artifact_dir, results)
+
+    walls = {name: wall for name, (wall, _) in results.items()}
+    assert all(wall > 0.0 for wall in walls.values())
+    # The journal actually recorded the run it was armed for.
+    assert results["journal"][1] > 0
+    assert results["inactive"][1] == 0  # unarmed journal stays empty
+    # Arming the full plane must not blow the run up by an order of
+    # magnitude; generous bound to stay robust on noisy CI machines.
+    assert walls["both"] < walls["inactive"] * 10.0
+    assert (artifact_dir / TRAJECTORY).read_text().startswith("#")

@@ -32,6 +32,7 @@ from repro.defenses import (
 )
 from repro.kernel.image import KernelImage, shared_image
 from repro.kernel.kernel import KernelConfig, MiniKernel
+from repro.obs.events import EventJournal, journaling
 
 #: PoC classes by the name used in the CVE registry (Table 4.1).
 ATTACKS = {
@@ -126,8 +127,14 @@ class MatrixCell:
 
 
 def run_attack(attack_name: str, scheme: str = "unsafe",
-               secret: bytes = b"K3Y!") -> AttackResult:
-    """Boot, arm, attack; returns the PoC outcome under ``scheme``."""
+               secret: bytes = b"K3Y!",
+               journal: EventJournal | None = None) -> AttackResult:
+    """Boot, arm, attack; returns the PoC outcome under ``scheme``.
+
+    Passing a ``journal`` records every enforcement decision made during
+    the PoC as security events, so the run can be reconstructed after the
+    fact (:meth:`EventJournal.reconstruct`).
+    """
     attack_cls = ATTACKS[attack_name]
     config = KernelConfig(
         btb_hardware_isolation=attack_name in _NEEDS_EIBRS)
@@ -135,7 +142,8 @@ def run_attack(attack_name: str, scheme: str = "unsafe",
     setup = make_setup(kernel, secret=secret)
     build_policy(scheme, kernel)
     attack = attack_cls(setup)
-    return attack.run(scheme_name=scheme)
+    with journaling(journal):
+        return attack.run(scheme_name=scheme)
 
 
 def run_matrix(attacks: tuple[str, ...] = tuple(ATTACKS),

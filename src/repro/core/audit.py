@@ -3,6 +3,12 @@
 After the gadget scanner (:mod:`repro.scanner`) audits the functions inside
 an ISV, every function it flags is excluded, producing the stricter *ISV++*
 that blocks all identified gadgets (Table 8.2's 100% column).
+
+Besides the static scanner, the security-event journal
+(:mod:`repro.obs.events`) provides a *forensic* hardening source: kernel
+functions observed attempting a transient leak during a recorded run can
+be excluded from the view at runtime, without a kernel patch (the
+incident-response flow of Section 5.4).
 """
 
 from __future__ import annotations
@@ -10,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.views import InstructionSpeculationView
+from repro.obs.events import EventJournal
 
 
 @dataclass
@@ -36,3 +43,35 @@ def harden_isv(isv: InstructionSpeculationView,
     hardened = isv.shrink(flagged_inside)
     return AuditOutcome(original=isv, hardened=hardened,
                         flagged_inside=flagged_inside)
+
+
+def forensic_exclusions(journal: EventJournal,
+                        kinds: tuple[str, ...] = ("blocked-leak",),
+                        min_events: int = 1) -> frozenset[str]:
+    """Kernel functions a recorded journal implicates in leak attempts.
+
+    Counts journal events of the given ``kinds`` per kernel function and
+    returns every function reaching ``min_events``.  The default -- one
+    blocked transient leak is enough -- matches the fail-closed posture:
+    a wrong-path load that enforcement had to stop is a gadget sighting,
+    not noise.
+    """
+    tallies: dict[str, int] = {}
+    for event in journal.events():
+        if event.kind in kinds and event.kernel_fn:
+            tallies[event.kernel_fn] = tallies.get(event.kernel_fn, 0) + 1
+    return frozenset(fn for fn, count in tallies.items()
+                     if count >= min_events)
+
+
+def harden_isv_from_journal(isv: InstructionSpeculationView,
+                            journal: EventJournal,
+                            kinds: tuple[str, ...] = ("blocked-leak",),
+                            min_events: int = 1) -> AuditOutcome:
+    """Harden an ISV from recorded security events instead of the scanner.
+
+    The forensic analogue of :func:`harden_isv`: reconstruct which
+    functions hosted blocked leak attempts and exclude them.
+    """
+    return harden_isv(isv, forensic_exclusions(journal, kinds=kinds,
+                                               min_events=min_events))

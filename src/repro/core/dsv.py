@@ -17,6 +17,7 @@ from __future__ import annotations
 from repro.core.dsvmt import DSVMT
 from repro.core.views import DataSpeculationView
 from repro.kernel.buddy import BuddyAllocator
+from repro.obs import events as ev
 from repro.reliability.faultplane import fire
 
 
@@ -47,6 +48,8 @@ class DSVRegistry:
             # DSV), so speculation on them is conservatively blocked for
             # every context, including the rightful owner.
             self.dropped_assign_events += 1
+            ev.emit("dsv-assign-drop", context=owner,
+                    reason=f"frames:{count}")
             return
         view = self.view_for(owner)
         dsvmt = self.dsvmt_for(owner)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs import events as ev
 from repro.reliability.faultplane import DSVMTWalkFault, fire
 
 #: Frames per level-2 entry (2 MB / 4 KB).
@@ -85,21 +86,26 @@ class DSVMT:
         self.stats.walks += 1
         if fire("dsvmt-walk-fail"):
             self.stats.walk_faults += 1
+            ev.emit_here("dsvmt-walk", reason="fault")
             raise DSVMTWalkFault(
                 f"injected DSVMT walk failure (context {self.context_id}, "
                 f"frame {frame})")
         l1 = frame // L1_SPAN
         if self._l1_count.get(l1, 0) == L1_SPAN:
             self.stats.huge_hits += 1
+            ev.emit_here("dsvmt-walk", reason="huge-hit")
             return True  # whole 1 GB region in view
         l2 = frame // L2_SPAN
         count = self._l2_count.get(l2, 0)
         if count == L2_SPAN:
             self.stats.huge_hits += 1
+            ev.emit_here("dsvmt-walk", reason="huge-hit")
             return True  # whole 2 MB region in view
         if count == 0:
+            ev.emit_here("dsvmt-walk", reason="empty")
             return False  # interior entry empty: no leaf can be set
         self.stats.leaf_lookups += 1
+        ev.emit_here("dsvmt-walk", reason="leaf")
         return frame in self._leaf
 
     def frames(self) -> frozenset[int]:

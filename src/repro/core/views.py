@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cpu.isa import CodeLayout
+from repro.obs import events as ev
 
 
 @dataclass
@@ -77,6 +78,9 @@ class InstructionSpeculationView:
     def shrink(self, remove: frozenset[str] | set[str],
                source_suffix: str = "++") -> "InstructionSpeculationView":
         """Return a stricter ISV excluding ``remove`` (runtime tightening)."""
+        removed = frozenset(remove) & self.functions
+        ev.emit("isv-shrink", context=self.context_id,
+                reason=f"removed:{len(removed)}", scheme=self.source)
         return InstructionSpeculationView(
             self.context_id, self.functions - frozenset(remove),
             self.layout, source=self.source + source_suffix)

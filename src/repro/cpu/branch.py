@@ -58,6 +58,12 @@ class ConditionalPredictor:
     def reset(self) -> None:
         self._counters.clear()
 
+    def metrics(self):
+        """(name, value) pairs for the observability collectors."""
+        yield "branch.cond.entries", len(self._counters)
+        yield "branch.cond.taken_biased", sum(
+            1 for counter in self._counters.values() if counter >= 2)
+
 
 class BranchTargetBuffer:
     """Direct-mapped BTB for indirect call/jump targets.
@@ -100,6 +106,12 @@ class BranchTargetBuffer:
 
     def reset(self) -> None:
         self._entries.clear()
+
+    def metrics(self):
+        """(name, value) pairs for the observability collectors."""
+        yield "branch.btb.entries", len(self._entries)
+        yield "branch.btb.history_collisions", sum(
+            1 for _, _, via_history in self._entries.values() if via_history)
 
 
 @dataclass
@@ -149,6 +161,11 @@ class ReturnStackBuffer:
     def depth(self) -> int:
         return len(self._stack)
 
+    def metrics(self):
+        """(name, value) pairs for the observability collectors."""
+        yield "branch.rsb.depth", self.depth
+        yield "branch.rsb.capacity", self.config.entries
+
 
 class BranchUnit:
     """Bundles the core's shared prediction structures."""
@@ -163,3 +180,9 @@ class BranchUnit:
         self.conditional.reset()
         self.btb.reset()
         self.rsb.clear()
+
+    def metrics(self):
+        """Combined predictor-state gauges (branch.* namespace)."""
+        yield from self.conditional.metrics()
+        yield from self.btb.metrics()
+        yield from self.rsb.metrics()

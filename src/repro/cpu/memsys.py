@@ -68,6 +68,10 @@ class MainMemory:
     def __len__(self) -> int:
         return len(self._data)
 
+    def metrics(self):
+        """(name, value) pairs for the observability collectors."""
+        yield "memory.touched_locations", len(self._data)
+
 
 @dataclass
 class TLBStats:
@@ -78,6 +82,12 @@ class TLBStats:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def as_metrics(self, prefix: str):
+        """(name, value) pairs for the observability collectors."""
+        yield f"{prefix}.hits", self.hits
+        yield f"{prefix}.misses", self.misses
+        yield f"{prefix}.hit_rate", self.hit_rate
 
 
 class TLB:
@@ -111,3 +121,9 @@ class TLB:
     def flush(self) -> None:
         """Full flush (KPTI-style CR3 write without PCID)."""
         self._lru.clear()
+
+    def metrics(self):
+        """(name, value) pairs for the observability collectors."""
+        yield from self.stats.as_metrics("tlb")
+        yield "tlb.resident", len(self._lru)
+        yield "tlb.capacity", self.entries

@@ -35,6 +35,7 @@ from repro.cpu.branch import BranchUnit
 from repro.cpu.cache import CacheHierarchy
 from repro.cpu.isa import AluOp, CodeLayout, Function, MicroOp, Op, OP_SIZE
 from repro.cpu.memsys import AddressSpace, MainMemory, PageFault, TLB
+from repro.obs import events as ev
 from repro.obs import registry as obs
 
 
@@ -482,6 +483,9 @@ class Pipeline:
         if registry is not None:
             self._publish_run(registry, entry_name, result,
                               fetch_lines, fetch_stall)
+        # Keep journal cycle stamps monotonic across runs: the next run's
+        # events land after everything this run emitted.
+        ev.advance(result.cycles)
         return result
 
     def _publish_run(self, registry, entry_name: str, result: ExecResult,
@@ -513,6 +517,12 @@ class Pipeline:
                      result.fence_stall_cycles)
         for reason, count in result.fenced_loads.items():
             registry.add(f"pipeline.fence.reason.{reason}", count)
+        total_fenced = result.total_fenced
+        if total_fenced:
+            # Per-entry-function fence attribution: the counter the
+            # differential profiler joins against the span tree to build
+            # the paper's Figure 9-style per-function breakdown.
+            registry.add(f"pipeline.fence.by_fn.{entry_name}", total_fenced)
         registry.observe("pipeline.run_cycles", result.cycles)
         # Span attribution: the kernel-function node keeps the cycles not
         # explained by a stall phase.  In this scoreboard model stalls are
@@ -587,6 +597,10 @@ class Pipeline:
         if speculative:
             result.speculative_loads += 1
             l1_hit = self.hierarchy.is_l1d_hit(pa)
+            journal = ev.active_journal()
+            if journal is not None:
+                ev.set_site(t, context.context_id, func.va_of(idx),
+                            func.name, self.policy.name)
             decision = self.policy.check_load(LoadQuery(
                 inst_va=func.va_of(idx), load_va=va, load_pa=pa,
                 context_id=context.context_id, domain=context.domain,
@@ -596,6 +610,12 @@ class Pipeline:
                 # Stall to the visibility point: no older instruction can
                 # squash the load once all in-flight predictions resolve.
                 result.record_fence(decision.reason or self.policy.name)
+                if journal is not None:
+                    journal.emit(
+                        "fence", cycle=t, context=context.context_id,
+                        pc=func.va_of(idx), kernel_fn=func.name,
+                        reason=decision.reason or self.policy.name,
+                        scheme=self.policy.name)
                 stalled_to = max(t, spec_until) + decision.extra_latency
                 result.fence_stall_cycles += stalled_to - t
                 t = stalled_to
@@ -833,6 +853,10 @@ class Pipeline:
                     shadow[op.dst] = UNAVAILABLE
                     idx += 1
                     continue
+                journal = ev.active_journal()
+                if journal is not None:
+                    ev.set_site(clock, context.context_id, func.va_of(idx),
+                                func.name, self.policy.name)
                 decision = self.policy.check_load(LoadQuery(
                     inst_va=func.va_of(idx), load_va=va, load_pa=pa,
                     context_id=context.context_id, domain=context.domain,
@@ -854,6 +878,16 @@ class Pipeline:
                     result.record_fence(decision.reason or self.policy.name)
                     result.transient_loads_blocked += 1
                     shadow[op.dst] = UNAVAILABLE
+                    if journal is not None:
+                        # A blocked *wrong-path* load is a stopped leak
+                        # attempt: the covert-channel transmit that never
+                        # happened.
+                        journal.emit(
+                            "blocked-leak", cycle=clock,
+                            context=context.context_id,
+                            pc=func.va_of(idx), kernel_fn=func.name,
+                            reason=decision.reason or self.policy.name,
+                            scheme=self.policy.name)
             elif kind is Op.STORE:
                 pass  # transient stores never become visible
             elif kind is Op.BR:

@@ -21,6 +21,7 @@ from __future__ import annotations
 from repro.core.dsvmt import WALK_LATENCY
 from repro.core.framework import Perspective
 from repro.core.hardware import REFILL_LATENCY, isv_block_of
+from repro.obs import events as ev
 from repro.reliability.faultplane import DSVMTWalkFault
 from repro.cpu.pipeline import LoadDecision, LoadQuery
 from repro.defenses.base import CountingPolicy
@@ -72,17 +73,20 @@ class PerspectivePolicy(CountingPolicy):
         isv = self.framework.isv_for(ctx)
         if isv is None:
             # No view installed: nothing is trusted speculatively.
+            ev.emit_here("isv-miss", reason="no-view")
             return self.block("isv")
         cache = self.framework.isv_cache
         block_key = isv_block_of(query.inst_va)
         cached = cache.lookup(ctx, block_key)
         if cached is None:
             # Conservative block on miss; refill from the bitmap page.
+            ev.emit_here("isv-miss", reason="cache-refill")
             pages = self.framework.isv_pages_for(ctx)
             bit = pages.bit_for(query.inst_va)
             cache.fill(ctx, block_key, bit)
             return self.block("isv", extra_latency=REFILL_LATENCY)
         if not cached:
+            ev.emit_here("isv-miss", reason="untrusted")
             return self.block("isv")
         return None
 
@@ -103,8 +107,11 @@ class PerspectivePolicy(CountingPolicy):
                 # Fail closed: a failed walk fences the load and leaves
                 # no cache entry -- the next access re-walks.
                 return self.block("dsv", extra_latency=WALK_LATENCY)
+            if not in_view:
+                ev.emit_here("dsv-ownership-miss", reason="walk")
             cache.fill(ctx, frame, in_view)
             return self.block("dsv", extra_latency=WALK_LATENCY)
         if not cached:
+            ev.emit_here("dsv-ownership-miss", reason="cached")
             return self.block("dsv")
         return None

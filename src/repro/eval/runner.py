@@ -258,24 +258,30 @@ def run_breakdown_experiment(
         schemes: tuple[str, ...] = ("perspective-static", "perspective",
                                     "perspective++"),
         requests: int = 30,
-        observe: bool = False) -> BreakdownExperiment:
+        observe: bool = False,
+        journal: "EventJournal | None" = None) -> BreakdownExperiment:
     """Fence attribution and view-cache hit rates under Perspective.
 
     With ``observe=True`` the whole measurement runs inside a fresh
     :class:`repro.obs.MetricsRegistry`; its snapshot (hot-path counters,
     span timings, and per-env collector gauges) is attached as
-    ``experiment.metrics``.  The measured numbers are identical either
-    way -- the observability plane only reads simulated state.
+    ``experiment.metrics``.  A ``journal`` additionally records every
+    enforcement decision as a security event.  The measured numbers are
+    identical either way -- the observability plane only reads simulated
+    state.
     """
     from contextlib import nullcontext
 
     from repro.obs import MetricsRegistry, observing
     from repro.obs.collect import collect_env
+    from repro.obs.events import journaling
     registry = MetricsRegistry() if observe else None
     experiment = BreakdownExperiment()
     # observe=False must not disturb any registry an outer caller (e.g.
-    # a campaign) already activated, hence nullcontext over observing(None).
-    with observing(registry) if registry is not None else nullcontext():
+    # a campaign) already activated, hence nullcontext over observing(None);
+    # same for the journal.
+    with observing(registry) if registry is not None else nullcontext(), \
+            journaling(journal) if journal is not None else nullcontext():
         for workload in workloads:
             experiment.breakdowns[workload] = {}
             experiment.isv_cache_hit_rate[workload] = {}

@@ -8,15 +8,29 @@ level hooks (:func:`add`, :func:`observe`, :func:`span`, :func:`tick`),
 which cost one global read when no registry is active; :func:`observing`
 scopes a registry to a ``with`` block.
 
-See ``python -m repro.obs --help`` for the snapshot CLI.
+On top of the metrics plane sits the forensics/attribution layer:
+
+* :mod:`repro.obs.events` -- the cycle-stamped security-event journal
+  (:class:`EventJournal`, scoped with :func:`journaling`);
+* :mod:`repro.obs.profile` -- the differential fence-overhead profiler
+  and the folded-stack / Chrome-trace exporters;
+* :mod:`repro.obs.diffgate` -- the metric regression gate CI runs.
+
+See ``python -m repro.obs --help`` for the CLI (snapshot matrix plus the
+``events`` / ``profile`` / ``diff`` subcommands).
 """
 
 from repro.obs.collect import (
+    collect_branch_unit,
     collect_cache_hierarchy,
     collect_env,
     collect_framework,
     collect_kernel,
+    collect_memsys,
 )
+from repro.obs.diffgate import DiffReport, ToleranceRule, diff_snapshots
+from repro.obs.events import EventJournal, SecurityEvent, journaling
+from repro.obs.profile import DiffProfile, ProfileRun, SpanTree
 from repro.obs.registry import (
     DEFAULT_CYCLE_BUCKETS,
     Histogram,
@@ -33,16 +47,27 @@ from repro.obs.registry import (
 
 __all__ = [
     "DEFAULT_CYCLE_BUCKETS",
+    "DiffProfile",
+    "DiffReport",
+    "EventJournal",
     "Histogram",
     "MetricsRegistry",
+    "ProfileRun",
+    "SecurityEvent",
     "SpanStats",
+    "SpanTree",
+    "ToleranceRule",
     "active_registry",
     "add",
+    "collect_branch_unit",
     "collect_cache_hierarchy",
     "collect_env",
     "collect_framework",
     "collect_kernel",
+    "collect_memsys",
+    "diff_snapshots",
     "gauge",
+    "journaling",
     "observe",
     "observing",
     "span",

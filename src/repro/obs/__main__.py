@@ -1,11 +1,12 @@
 """CLI entry point: ``python -m repro.obs``.
 
-Runs a small workload matrix with the observability plane armed and
-prints (or saves) the resulting metrics snapshot.  Everything in the
-snapshot derives from simulated cycles and seeded workloads, so two
-invocations with the same arguments produce **byte-identical** output --
-the CI smoke step diffs a committed snapshot against a fresh run to keep
-the plane (and the counters it reads) honest.
+Without a subcommand, runs a small workload matrix with the
+observability plane armed and prints (or saves) the resulting metrics
+snapshot.  Everything in the snapshot derives from simulated cycles and
+seeded workloads, so two invocations with the same arguments produce
+**byte-identical** output -- the CI smoke step diffs a committed
+snapshot against a fresh run to keep the plane (and the counters it
+reads) honest.
 
 Usage::
 
@@ -13,11 +14,20 @@ Usage::
     python -m repro.obs --smoke         # trimmed CI matrix
     python -m repro.obs --json          # canonical JSON to stdout
     python -m repro.obs -o snap.json    # also save the JSON snapshot
+
+Forensics subcommands::
+
+    python -m repro.obs events --attack spectre-rsb-passive \\
+        --scheme perspective --jsonl run.jsonl
+    python -m repro.obs profile --workload lebench \\
+        --base unsafe --scheme perspective -o outdir/
+    python -m repro.obs diff baseline.json current.json  # exit 1 on drift
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 
 from repro.obs.collect import collect_env
@@ -77,11 +87,112 @@ def run_workload_matrix(workloads: tuple[str, ...] = DEFAULT_WORKLOADS,
     return registry
 
 
+def _events_command(args: argparse.Namespace) -> int:
+    """Journal one PoC attack run and print the forensics digest."""
+    from repro.attacks.harness import ATTACKS, run_attack
+    from repro.obs.events import EventJournal
+
+    if args.attack not in ATTACKS:
+        print(f"unknown attack {args.attack!r}; one of "
+              f"{', '.join(sorted(ATTACKS))}", file=sys.stderr)
+        return 2
+    journal = EventJournal(capacity=args.capacity, meta={
+        "attack": args.attack, "scheme": args.scheme})
+    result = run_attack(args.attack, args.scheme, journal=journal)
+    print(journal.summary())
+    print(f"attack outcome: leaked={result.leaked!r}")
+    if args.jsonl:
+        pathlib.Path(args.jsonl).write_text(journal.to_jsonl())
+        print(f"journal written to {args.jsonl}", file=sys.stderr)
+    return 0
+
+
+def _profile_command(args: argparse.Namespace) -> int:
+    """Differential profile: one workload, two schemes, one table."""
+    from repro.obs.profile import diff_workload
+
+    diff = diff_workload(args.workload, args.base, args.scheme,
+                         requests=args.requests, seed=args.seed)
+    print(diff.render(top=args.top), end="")
+    if args.out:
+        outdir = pathlib.Path(args.out)
+        outdir.mkdir(parents=True, exist_ok=True)
+        for run in (diff.base, diff.scheme):
+            tree = run.tree()
+            folded = outdir / f"profile_{run.label}.folded"
+            trace = outdir / f"profile_{run.label}.trace.json"
+            folded.write_text(tree.to_folded())
+            trace.write_text(tree.to_chrome_trace_json())
+            print(f"wrote {folded} and {trace}", file=sys.stderr)
+    return 0
+
+
+def _diff_command(args: argparse.Namespace) -> int:
+    """Regression gate: nonzero exit when current drifts from baseline."""
+    from repro.obs.diffgate import gate_files
+
+    report = gate_files(args.baseline, args.current,
+                        rules_path=args.rules,
+                        ignore_added=args.ignore_added)
+    print(report.render(), end="")
+    return 0 if report.ok else 1
+
+
+def _subcommand_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="speculation-forensics toolbox: security-event "
+                    "journal, differential profiler, metric diff gate")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    events = sub.add_parser(
+        "events", help="journal a PoC attack run's security events")
+    events.add_argument("--attack", default="spectre-rsb-passive")
+    events.add_argument("--scheme", default="perspective")
+    events.add_argument("--capacity", type=int, default=65_536)
+    events.add_argument("--jsonl", metavar="FILE",
+                        help="write the journal as JSON lines")
+
+    profile = sub.add_parser(
+        "profile", help="diff one workload under two schemes")
+    profile.add_argument("--workload", default="lebench")
+    profile.add_argument("--base", default="unsafe",
+                         help="baseline scheme (default: unsafe)")
+    profile.add_argument("--scheme", default="perspective")
+    profile.add_argument("--requests", type=int, default=12,
+                         help="requests per app-workload run")
+    profile.add_argument("--top", type=int, default=0,
+                         help="table rows to show (0: all)")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("-o", "--out", metavar="DIR",
+                         help="write folded stacks + Chrome traces here")
+
+    diff = sub.add_parser(
+        "diff", help="gate a snapshot against a baseline (exit 1 on "
+                     "regression)")
+    diff.add_argument("baseline", help="baseline snapshot JSON")
+    diff.add_argument("current", help="current snapshot JSON")
+    diff.add_argument("--rules", metavar="FILE",
+                      help="JSON tolerance rules (default: exact match)")
+    diff.add_argument("--ignore-added", action="store_true",
+                      help="new metrics are not findings")
+    return parser
+
+
+_COMMANDS = {"events": _events_command, "profile": _profile_command,
+             "diff": _diff_command}
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] in _COMMANDS:
+        args = _subcommand_parser().parse_args(argv)
+        return _COMMANDS[args.command](args)
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
         description="run a small workload matrix under the deterministic "
-                    "observability plane and emit the metrics snapshot")
+                    "observability plane and emit the metrics snapshot "
+                    "(subcommands: events, profile, diff)")
     parser.add_argument("--smoke", action="store_true",
                         help="trimmed CI matrix (lebench x unsafe/"
                              "perspective)")

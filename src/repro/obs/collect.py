@@ -59,10 +59,26 @@ def collect_framework(reg: MetricsRegistry, framework,
               registry.dropped_assign_events)
 
 
+def collect_branch_unit(reg: MetricsRegistry, branch_unit,
+                        prefix: str = "") -> None:
+    """Predictor-state gauges: conditional table, BTB, and RSB."""
+    _publish(reg, f"{prefix}." if prefix else "", branch_unit.metrics())
+
+
+def collect_memsys(reg: MetricsRegistry, memory, tlb,
+                   prefix: str = "") -> None:
+    """Main-memory footprint and TLB hit/miss/residency gauges."""
+    p = f"{prefix}." if prefix else ""
+    _publish(reg, p, memory.metrics())
+    _publish(reg, p, tlb.metrics())
+
+
 def collect_kernel(reg: MetricsRegistry, kernel, prefix: str = "") -> None:
     """Cache hierarchy, allocators, and tracer figures for one kernel."""
     p = f"{prefix}." if prefix else ""
     collect_cache_hierarchy(reg, kernel.hierarchy, prefix=prefix)
+    collect_branch_unit(reg, kernel.branch_unit, prefix=prefix)
+    collect_memsys(reg, kernel.memory, kernel.pipeline.tlb, prefix=prefix)
     _publish(reg, p, kernel.buddy.stats.as_metrics("buddy"))
     reg.gauge(f"{p}buddy.free_frames", kernel.buddy.free_frames())
     reg.gauge(f"{p}buddy.allocated_frames", kernel.buddy.allocated_frames())

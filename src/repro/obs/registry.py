@@ -173,6 +173,67 @@ class MetricsRegistry:
         return sum(s.cycles for path, s in self._spans.items()
                    if path == prefix or path.startswith(prefix + "/"))
 
+    # -- aggregation -----------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (campaign-shard combine).
+
+        Counters, span figures, and histogram contents accumulate;
+        gauges are last-write-wins (the merged-in shard is "later"), as
+        are colliding ``meta`` keys.  Histograms must agree on buckets
+        -- they are fixed at first observation precisely so shards stay
+        mergeable.
+        """
+        for key in sorted(other.meta):
+            self.meta[key] = other.meta[key]
+        for name, value in other._counters.items():
+            self._counters[name] = self._counters.get(name, 0) + value
+        self._gauges.update(other._gauges)
+        for name, theirs in other._histograms.items():
+            hist = self._histograms.get(name)
+            if hist is None:
+                self._histograms[name] = Histogram(
+                    buckets=theirs.buckets, counts=list(theirs.counts),
+                    overflow=theirs.overflow, total=theirs.total,
+                    n=theirs.n)
+                continue
+            if hist.buckets != theirs.buckets:
+                raise ValueError(
+                    f"cannot merge histogram {name!r}: buckets "
+                    f"{hist.buckets} != {theirs.buckets}")
+            for i, count in enumerate(theirs.counts):
+                hist.counts[i] += count
+            hist.overflow += theirs.overflow
+            hist.total += theirs.total
+            hist.n += theirs.n
+        for path, theirs in other._spans.items():
+            stats = self._spans.get(path)
+            if stats is None:
+                stats = self._spans[path] = SpanStats()
+            stats.count += theirs.count
+            stats.cycles += theirs.cycles
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`snapshot` dict.
+
+        The inverse of :meth:`snapshot` up to key order; with
+        :meth:`merge` this is how a campaign runner combines the
+        snapshots its worker processes ship back.
+        """
+        reg = cls(meta=snapshot.get("meta"))
+        reg._counters.update(snapshot.get("counters", {}))
+        reg._gauges.update(snapshot.get("gauges", {}))
+        for name, data in snapshot.get("histograms", {}).items():
+            reg._histograms[name] = Histogram(
+                buckets=tuple(data["buckets"]),
+                counts=list(data["counts"]), overflow=data["overflow"],
+                total=data["sum"], n=data["count"])
+        for path, data in snapshot.get("spans", {}).items():
+            reg._spans[path] = SpanStats(count=data["count"],
+                                         cycles=data["cycles"])
+        return reg
+
     # -- access ----------------------------------------------------------
 
     def counter(self, name: str) -> float:
@@ -259,10 +320,22 @@ def _promname(name: str) -> str:
 
 
 def _num(value: float) -> str:
-    """Render a number without a trailing ``.0`` for integral floats."""
-    if isinstance(value, float) and value.is_integer() \
-            and abs(value) < 2 ** 53:
-        return str(int(value))
+    """Render a number without a trailing ``.0`` for integral floats.
+
+    Non-finite values follow the Prometheus text conventions (``+Inf``,
+    ``-Inf``, ``NaN``) rather than Python's ``inf``/``nan`` reprs, which
+    exposition parsers reject.  Everything else keeps full ``repr``
+    precision -- negative, sub-epsilon, and denormal values round-trip.
+    """
+    if isinstance(value, float):
+        if value != value:
+            return "NaN"
+        if value == float("inf"):
+            return "+Inf"
+        if value == float("-inf"):
+            return "-Inf"
+        if value.is_integer() and abs(value) < 2 ** 53:
+            return str(int(value))
     return repr(value)
 
 

@@ -47,6 +47,7 @@ from repro.reliability import serde
 from repro.reliability.faultplane import FaultPlane, FaultSpec, inject
 
 JOURNAL_NAME = "campaign-journal.jsonl"
+METRICS_NAME = "campaign-metrics.json"
 
 
 @dataclass(frozen=True)
@@ -123,6 +124,12 @@ class CampaignConfig:
     isolate: bool = True
     #: Optional fault plane armed inside every worker.
     fault: FaultPlane | None = None
+    #: Arm a fresh :class:`MetricsRegistry` inside every worker and merge
+    #: the per-experiment snapshots into one whole-campaign snapshot
+    #: (written as ``campaign-metrics.json`` next to the journal).
+    #: Deliberately *not* part of :meth:`header`: the snapshot is a
+    #: sidecar, and toggling it must not invalidate resumable journals.
+    collect_metrics: bool = False
 
     def resolved_params(self, name: str) -> dict[str, Any]:
         spec = EXPERIMENTS[name]
@@ -172,20 +179,44 @@ class CampaignState:
                 for name, payload in self.payloads.items()}
 
 
-def _campaign_worker(name: str, params: dict[str, Any],
-                     fault: dict[str, Any] | None, conn) -> None:
-    """Subprocess entry point: run one experiment, ship its payload."""
-    try:
-        spec = EXPERIMENTS[name]
-        fires: dict[str, int] = {}
+def _run_spec(name: str, params: dict[str, Any],
+              fault: dict[str, Any] | None, collect_metrics: bool,
+              ) -> tuple[dict[str, Any], dict[str, int],
+                         dict[str, Any] | None]:
+    """Run one experiment spec: (payload, fault_fires, metrics_snapshot).
+
+    With ``collect_metrics`` the experiment runs under a fresh registry
+    whose snapshot ships back for whole-campaign aggregation
+    (:meth:`MetricsRegistry.merge`); hot-path counters and spans from
+    every shard combine into one picture of the campaign.
+    """
+    spec = EXPERIMENTS[name]
+    registry = obs.MetricsRegistry(meta={"experiment": name}) \
+        if collect_metrics else None
+    from contextlib import nullcontext
+    observe_ctx = obs.observing(registry) if registry is not None \
+        else nullcontext()
+    fires: dict[str, int] = {}
+    with observe_ctx:
         if fault is not None:
             with inject(FaultPlane.from_dict(fault)) as plane:
                 result = spec.run(**params)
             fires = dict(plane.fires)
         else:
             result = spec.run(**params)
-        conn.send({"ok": True, "payload": spec.to_payload(result),
-                   "fault_fires": fires})
+    snapshot = registry.snapshot() if registry is not None else None
+    return spec.to_payload(result), fires, snapshot
+
+
+def _campaign_worker(name: str, params: dict[str, Any],
+                     fault: dict[str, Any] | None, conn,
+                     collect_metrics: bool = False) -> None:
+    """Subprocess entry point: run one experiment, ship its payload."""
+    try:
+        payload, fires, snapshot = _run_spec(name, params, fault,
+                                             collect_metrics)
+        conn.send({"ok": True, "payload": payload, "fault_fires": fires,
+                   "metrics": snapshot})
     except BaseException as exc:  # noqa: BLE001 -- report, don't crash silently
         conn.send({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
     finally:
@@ -207,6 +238,13 @@ class CampaignRunner:
         self.config = config or CampaignConfig()
         self.journal_dir = pathlib.Path(journal_dir)
         self.journal_path = self.journal_dir / JOURNAL_NAME
+        self.metrics_path = self.journal_dir / METRICS_NAME
+        #: Whole-campaign metrics: per-experiment shard snapshots merged
+        #: as they arrive (only populated with ``collect_metrics``; a
+        #: resumed campaign aggregates the experiments it actually ran).
+        self.metrics = obs.MetricsRegistry(
+            meta={"plane": "repro.reliability.campaign",
+                  "seed": self.config.seed})
         self._sleep = sleep
         self._on_start = on_experiment_start
         unknown = [n for n in self.config.experiments
@@ -283,6 +321,9 @@ class CampaignRunner:
                 state.payloads[name] = record["payload"]
             else:
                 state.failures[name] = record["error"]
+        if self.config.collect_metrics:
+            self.metrics_path.write_text(self.metrics.to_json(indent=1)
+                                         + "\n")
         return state
 
     def _run_with_retries(self, name: str) -> dict[str, Any]:
@@ -292,7 +333,11 @@ class CampaignRunner:
         error = "never attempted"
         for attempt in range(1, self.config.max_attempts + 1):
             with obs.span(f"experiment/{name}"):
-                ok, payload_or_error, fires = self._attempt(name, params)
+                ok, payload_or_error, fires, snapshot = \
+                    self._attempt(name, params)
+            if snapshot is not None:
+                self.metrics.merge(obs.MetricsRegistry.from_snapshot(
+                    snapshot))
             obs.add(f"campaign.{name}.attempts")
             for point in sorted(fires):
                 obs.add(f"campaign.{name}.fault_fires.{point}",
@@ -319,29 +364,26 @@ class CampaignRunner:
                 "retry_delays": delays, "error": error, "payload": None}
 
     def _attempt(self, name: str, params: dict[str, Any],
-                 ) -> tuple[bool, Any, dict[str, int]]:
-        """One execution attempt: (ok, payload_or_error, fault_fires)."""
+                 ) -> tuple[bool, Any, dict[str, int],
+                            dict[str, Any] | None]:
+        """One execution attempt:
+        (ok, payload_or_error, fault_fires, metrics_snapshot)."""
         fault = self.config.fault.to_dict() if self.config.fault else None
+        collect = self.config.collect_metrics
         if not self.config.isolate:
-            spec = EXPERIMENTS[name]
             try:
-                fires: dict[str, int] = {}
-                if fault is not None:
-                    with inject(FaultPlane.from_dict(fault)) as plane:
-                        result = spec.run(**params)
-                    fires = dict(plane.fires)
-                else:
-                    result = spec.run(**params)
-                return True, spec.to_payload(result), fires
+                payload, fires, snapshot = _run_spec(name, params, fault,
+                                                     collect)
+                return True, payload, fires, snapshot
             except Exception as exc:  # noqa: BLE001
-                return False, f"{type(exc).__name__}: {exc}", {}
+                return False, f"{type(exc).__name__}: {exc}", {}, None
         try:
             ctx = multiprocessing.get_context("fork")
         except ValueError:
             ctx = multiprocessing.get_context("spawn")
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         proc = ctx.Process(target=_campaign_worker,
-                           args=(name, params, fault, child_conn))
+                           args=(name, params, fault, child_conn, collect))
         proc.start()
         child_conn.close()
         message: dict[str, Any] | None = None
@@ -356,14 +398,16 @@ class CampaignRunner:
             proc.terminate()
             proc.join()
             if message is None:
-                return False, f"timeout after {timeout}s", {}
+                return False, f"timeout after {timeout}s", {}, None
         parent_conn.close()
         if message is None:
-            return False, f"worker crashed (exit code {proc.exitcode})", {}
+            return False, f"worker crashed (exit code {proc.exitcode})", \
+                {}, None
         fires = message.get("fault_fires", {})
         if message["ok"]:
-            return True, message["payload"], fires
-        return False, message["error"], fires
+            return True, message["payload"], fires, \
+                message.get("metrics")
+        return False, message["error"], fires, None
 
 
 def smoke_campaign(journal_dir: str | pathlib.Path,
@@ -385,7 +429,7 @@ def smoke_campaign(journal_dir: str | pathlib.Path,
     config = CampaignConfig(
         seed=seed, fast=True, fault=fault, max_attempts=2,
         timeout_s=300.0, backoff_base_s=0.05,
-        experiments=("surface", "security"))
+        experiments=("surface", "security"), collect_metrics=True)
     runner = CampaignRunner(journal_dir, config)
     state = runner.run()
     report = render_campaign_report(state)

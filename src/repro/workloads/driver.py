@@ -19,6 +19,7 @@ from repro.cpu.pipeline import ExecResult
 from repro.kernel.image import RARE_PATH_MAGIC
 from repro.kernel.kernel import MiniKernel, SyscallResult
 from repro.kernel.process import Process
+from repro.obs import events as ev
 from repro.obs import registry as obs
 
 #: Syscalls whose second argument carries no semantic meaning in the
@@ -84,6 +85,11 @@ class Driver:
                 registry.tick(result.cycles - exec_cycles)
             registry.add("driver.syscalls")
             registry.observe("driver.syscall_cycles", result.cycles)
+        # The pipeline advances the event-journal base by its own cycles;
+        # the driver adds the trap cost so journal stamps stay aligned
+        # with cumulative kernel cycles.
+        if result.exec_result is not None:
+            ev.advance(result.cycles - result.exec_result.cycles)
         self.stats.add(result)
         return result
 

@@ -259,6 +259,109 @@ class TestObservabilityIsNeutral:
         assert rebuilt.breakdowns == exp.breakdowns
 
 
+class TestMerge:
+    def test_merge_combines_all_sections(self):
+        a = MetricsRegistry(meta={"shard": 1})
+        a.add("c", 2)
+        a.gauge("g", 1.0)
+        a.observe("h", 5.0, buckets=(10.0, 100.0))
+        with a.span("s"):
+            a.tick(3.0)
+        b = MetricsRegistry(meta={"shard": 2})
+        b.add("c", 3)
+        b.add("only_b")
+        b.gauge("g", 9.0)
+        b.observe("h", 500.0, buckets=(10.0, 100.0))
+        with b.span("s"):
+            b.tick(4.0)
+        a.merge(b)
+        assert a.counter("c") == 5
+        assert a.counter("only_b") == 1
+        assert a.gauge_value("g") == 9.0  # merged shard is "later"
+        hist = a.histogram("h")
+        assert hist.n == 2
+        assert hist.overflow == 1
+        assert hist.total == 505.0
+        assert a.span_stats("s").count == 2
+        assert a.span_stats("s").cycles == 7.0
+        assert a.meta["shard"] == 2
+
+    def test_merge_rejects_bucket_mismatch(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("h", 1.0, buckets=(10.0,))
+        b.observe("h", 1.0, buckets=(20.0,))
+        with pytest.raises(ValueError, match="buckets"):
+            a.merge(b)
+
+    def test_from_snapshot_roundtrip(self):
+        reg = MetricsRegistry(meta={"seed": 3})
+        reg.add("c", 2)
+        reg.gauge("g", 0.5)
+        reg.observe("h", 50.0, buckets=(10.0, 100.0))
+        with reg.span("syscall/read"):
+            reg.tick(9.0)
+        rebuilt = MetricsRegistry.from_snapshot(reg.snapshot())
+        assert rebuilt.to_json() == reg.to_json()
+
+    def test_shard_merge_equals_single_registry(self):
+        """Campaign shards merged == the same work under one registry."""
+        def work(reg, offset):
+            reg.add("hits", offset)
+            reg.observe("lat", 10.0 * offset)
+            with reg.span("experiment/x"):
+                reg.tick(float(offset))
+        whole = MetricsRegistry()
+        for i in (1, 2, 3):
+            work(whole, i)
+        merged = MetricsRegistry()
+        for i in (1, 2, 3):
+            shard = MetricsRegistry()
+            work(shard, i)
+            merged.merge(MetricsRegistry.from_snapshot(shard.snapshot()))
+        assert merged.snapshot()["counters"] == \
+            whole.snapshot()["counters"]
+        assert merged.snapshot()["histograms"] == \
+            whole.snapshot()["histograms"]
+        assert merged.snapshot()["spans"] == whole.snapshot()["spans"]
+
+
+class TestNumFormatting:
+    """Locks in ``_num`` rendering for awkward values."""
+
+    def test_integral_floats_drop_point(self):
+        from repro.obs.registry import _num
+        assert _num(3.0) == "3"
+        assert _num(-3.0) == "-3"
+        assert _num(-0.0) == "0"
+        assert _num(7) == "7"
+
+    def test_huge_integral_floats_keep_repr(self):
+        from repro.obs.registry import _num
+        assert _num(2.0 ** 53) == repr(2.0 ** 53)
+
+    def test_fractional_and_subepsilon_keep_full_precision(self):
+        from repro.obs.registry import _num
+        assert _num(0.1) == "0.1"
+        assert _num(-2.5) == "-2.5"
+        assert _num(5e-324) == "5e-324"  # smallest denormal
+        assert float(_num(1e-200)) == 1e-200
+
+    def test_nonfinite_follow_prometheus_conventions(self):
+        from repro.obs.registry import _num
+        assert _num(float("inf")) == "+Inf"
+        assert _num(float("-inf")) == "-Inf"
+        assert _num(float("nan")) == "NaN"
+
+    def test_text_exposition_with_nonfinite_gauge(self):
+        reg = MetricsRegistry()
+        reg.gauge("weird.ratio", float("inf"))
+        reg.gauge("weird.mean", float("nan"))
+        text = reg.to_text()
+        assert "weird_ratio +Inf" in text
+        assert "weird_mean NaN" in text
+        assert "weird_ratio inf" not in text
+
+
 class TestCollectors:
     def test_collect_env_prefixes(self, kernel):
         reg = MetricsRegistry()
@@ -275,6 +378,45 @@ class TestCollectors:
         reg = MetricsRegistry()
         collect_env(reg, kernel)
         assert "buddy.allocations" in reg.snapshot()["gauges"]
+
+    def test_collect_branch_predictor_state(self, kernel):
+        from repro.obs import collect_branch_unit
+        proc = kernel.create_process("app")
+        kernel.syscall(proc, "read", args=(0, 0))
+        reg = MetricsRegistry()
+        collect_branch_unit(reg, kernel.branch_unit, prefix="w.s")
+        gauges = reg.snapshot()["gauges"]
+        assert gauges["w.s.branch.cond.entries"] > 0
+        assert gauges["w.s.branch.rsb.capacity"] == 16
+        assert "w.s.branch.btb.entries" in gauges
+        assert "w.s.branch.btb.history_collisions" in gauges
+        assert gauges["w.s.branch.cond.taken_biased"] <= \
+            gauges["w.s.branch.cond.entries"]
+
+    def test_collect_memsys_state(self, kernel):
+        from repro.obs import collect_memsys
+        proc = kernel.create_process("app")
+        kernel.syscall(proc, "read", args=(0, 0))
+        reg = MetricsRegistry()
+        collect_memsys(reg, kernel.memory, kernel.pipeline.tlb,
+                       prefix="w.s")
+        gauges = reg.snapshot()["gauges"]
+        assert gauges["w.s.memory.touched_locations"] > 0
+        assert gauges["w.s.tlb.hits"] + gauges["w.s.tlb.misses"] > 0
+        assert 0.0 <= gauges["w.s.tlb.hit_rate"] <= 1.0
+        assert gauges["w.s.tlb.resident"] <= gauges["w.s.tlb.capacity"]
+
+    def test_smoke_snapshot_covers_branch_and_memsys(self):
+        """The --smoke snapshot carries the new collector gauges."""
+        from repro.obs.__main__ import run_workload_matrix
+        snap = run_workload_matrix(("lebench",),
+                                   ("unsafe", "perspective")).snapshot()
+        for scheme in ("unsafe", "perspective"):
+            assert f"lebench.{scheme}.branch.cond.entries" \
+                in snap["gauges"]
+            assert f"lebench.{scheme}.tlb.hits" in snap["gauges"]
+            assert f"lebench.{scheme}.memory.touched_locations" \
+                in snap["gauges"]
 
 
 class TestCampaignCounters:
@@ -303,6 +445,52 @@ class TestCampaignCounters:
         plain = (tmp_path / "plain" / JOURNAL_NAME).read_text()
         observed = (tmp_path / "observed" / JOURNAL_NAME).read_text()
         assert plain == observed
+
+    def test_campaign_metrics_snapshot_written_and_merged(self, tmp_path):
+        from repro.reliability.campaign import (
+            METRICS_NAME, CampaignConfig, CampaignRunner)
+        config = CampaignConfig(fast=True, isolate=False,
+                                experiments=("surface", "security"),
+                                collect_metrics=True)
+        runner = CampaignRunner(tmp_path, config)
+        state = runner.run()
+        assert state.done == {"surface", "security"}
+        path = tmp_path / METRICS_NAME
+        assert path.exists()
+        snap = json.loads(path.read_text())
+        # Shards from both experiments merged into one snapshot.
+        assert snap["counters"]["pipeline.runs"] > 0
+        assert snap["meta"]["plane"] == "repro.reliability.campaign"
+        # The runner-side registry holds the same figures.
+        assert runner.metrics.counter("pipeline.runs") == \
+            snap["counters"]["pipeline.runs"]
+
+    def test_campaign_metrics_off_by_default(self, tmp_path):
+        from repro.reliability.campaign import (
+            METRICS_NAME, CampaignConfig, CampaignRunner)
+        config = CampaignConfig(fast=True, isolate=False,
+                                experiments=("surface",))
+        CampaignRunner(tmp_path, config).run()
+        assert not (tmp_path / METRICS_NAME).exists()
+
+    def test_collect_metrics_does_not_change_header(self, tmp_path):
+        """Toggling the sidecar must not invalidate resumable journals."""
+        from repro.reliability.campaign import CampaignConfig
+        plain = CampaignConfig(fast=True, experiments=("surface",))
+        collecting = CampaignConfig(fast=True, experiments=("surface",),
+                                    collect_metrics=True)
+        assert plain.header() == collecting.header()
+
+    def test_campaign_metrics_with_subprocess_isolation(self, tmp_path):
+        from repro.reliability.campaign import (
+            METRICS_NAME, CampaignConfig, CampaignRunner)
+        config = CampaignConfig(fast=True, isolate=True,
+                                experiments=("surface",),
+                                collect_metrics=True, timeout_s=300.0)
+        state = CampaignRunner(tmp_path, config).run()
+        assert state.done == {"surface"}
+        snap = json.loads((tmp_path / METRICS_NAME).read_text())
+        assert snap["counters"]["pipeline.runs"] > 0
 
 
 class TestCli:
