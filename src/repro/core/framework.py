@@ -41,6 +41,11 @@ class Perspective:
             self.dsv_registry.on_alloc(first_frame, 1 << order, owner)
         self._isvs: dict[int, InstructionSpeculationView] = {}
         self._isv_pages: dict[int, ISVPageTable] = {}
+        #: Bumped on every view installation/replacement.  Policy-side
+        #: memoization of per-context view objects (PerspectivePolicy)
+        #: keys its validity on this counter, so a shrunken or replaced
+        #: view takes effect on the very next speculative load.
+        self.view_epoch = 0
         self.isv_cache = ViewCache("isv", entries=isv_cache_entries,
                                    ways=cache_ways)
         self.dsv_cache = ViewCache("dsv", entries=dsv_cache_entries,
@@ -59,6 +64,7 @@ class Perspective:
         self._isv_pages[isv.context_id] = ISVPageTable(
             isv, self.kernel.image.layout)
         self.isv_cache.invalidate_asid(isv.context_id)
+        self.view_epoch += 1
 
     def isv_for(self, context_id: int) -> InstructionSpeculationView | None:
         return self._isvs.get(context_id)

@@ -190,6 +190,24 @@ def kret() -> MicroOp:
 OP_SIZE = 4
 
 
+@dataclass(frozen=True, slots=True)
+class DecodedBody:
+    """Precomputed per-op tables the pipeline's fetch/issue loop consults.
+
+    One entry per op *plus one* for the implicit-RET slot at
+    ``index == len(body)``, so the hot loop never branches on the
+    end-of-function case.  ``length``/``base_va`` are the validity key:
+    a decode is stale once the body grows/shrinks or the function is
+    (re)placed in a layout.
+    """
+
+    vas: tuple[int, ...]
+    lines: tuple[int, ...]  # instruction cache lines (va // 64)
+    reads: tuple[tuple[str, ...], ...]
+    length: int
+    base_va: int
+
+
 @dataclass
 class Function:
     """A unit of kernel (or userspace) code: a named micro-op sequence.
@@ -211,6 +229,10 @@ class Function:
     #: which covert-channel class ("mds", "port", "cache") -- ground truth
     #: for the scanner evaluation.
     gadget_class: str | None = None
+    #: Lazily-built decode tables (see :meth:`decoded`); never compared or
+    #: shown -- it is a pure cache over ``body``/``base_va``.
+    _decoded: DecodedBody | None = field(
+        default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.body)
@@ -225,6 +247,34 @@ class Function:
 
     def contains_va(self, va: int) -> bool:
         return self.base_va <= va < self.end_va
+
+    def decoded(self) -> DecodedBody:
+        """The cached decode of this body (recomputed when stale).
+
+        Staleness is keyed on ``(len(body), base_va)``, which covers every
+        mutation the image generator performs (splicing ops in, layout
+        placement).  Code that replaces ops *in place without changing the
+        length* after a decode was taken must call
+        :meth:`invalidate_decode`.
+        """
+        dec = self._decoded
+        if dec is not None and dec.length == len(self.body) \
+                and dec.base_va == self.base_va:
+            return dec
+        base = self.base_va
+        vas = tuple(base + i * OP_SIZE for i in range(len(self.body) + 1))
+        dec = DecodedBody(
+            vas=vas,
+            lines=tuple(va // 64 for va in vas),
+            reads=tuple(op.reads() for op in self.body) + ((),),
+            length=len(self.body),
+            base_va=base)
+        self._decoded = dec
+        return dec
+
+    def invalidate_decode(self) -> None:
+        """Drop the cached decode after an in-place body mutation."""
+        self._decoded = None
 
 
 class CodeLayout:

@@ -217,8 +217,13 @@ class ExecResult:
         self.transient_loads_blocked += other.transient_loads_blocked
         self.cfi_suppressions += other.cfi_suppressions
         self.fence_stall_cycles += other.fence_stall_cycles
-        for reason, count in other.fenced_loads.items():
-            self.fenced_loads[reason] = self.fenced_loads.get(reason, 0) + count
+        if other.fenced_loads:
+            merged = self.fenced_loads
+            for reason, count in other.fenced_loads.items():
+                merged[reason] = merged.get(reason, 0) + count
+            # Canonical key order: merged results must not depend on the
+            # order the parts arrive in (pool workers gather out of order).
+            self.fenced_loads = dict(sorted(merged.items()))
 
 
 class _Unavailable:
@@ -245,7 +250,7 @@ class Pipeline:
         self.branch_unit = branch_unit or BranchUnit()
         self.config = config or PipelineConfig()
         self.tlb = tlb or TLB()
-        self.policy: SpeculationPolicy = SpeculationPolicy()
+        self.set_policy(SpeculationPolicy())
         #: Optional observer called with (function, context) whenever the
         #: committed path enters a function -- the kernel tracing subsystem
         #: (ftrace stand-in) hooks in here to build dynamic ISV profiles.
@@ -253,6 +258,18 @@ class Pipeline:
 
     def set_policy(self, policy: SpeculationPolicy) -> None:
         self.policy = policy
+        # A *passive* policy statically allows every speculative load with
+        # no side effects (the UNSAFE baseline).  The load path then skips
+        # building the LoadQuery entirely -- semantics are unchanged
+        # because the base check_load reads nothing and always returns
+        # ALLOW.  Detected structurally (check_load not overridden) or by
+        # an explicit ``passive_allow`` opt-in; DOM-style LRU freezing
+        # disqualifies a policy because the allow path would differ.
+        cls = type(policy)
+        self._passive_allow = (
+            (cls.check_load is SpeculationPolicy.check_load
+             or getattr(cls, "passive_allow", False))
+            and cls.dom_lru_freeze is SpeculationPolicy.dom_lru_freeze)
 
     # ------------------------------------------------------------------
     # Main execution loop
@@ -296,6 +313,7 @@ class Pipeline:
 
         translate = context.address_space.translate
         body = func.body
+        dec = func.decoded()
         trace = self.trace_hook
         if trace is not None:
             trace(func, context)
@@ -314,12 +332,11 @@ class Pipeline:
 
             # --- front end: fetch bandwidth, I-cache, ROB occupancy -----
             clock += cfg.base_cpi
-            inst_va = func.va_of(idx)
-            fetch_line = inst_va // 64
+            fetch_line = dec.lines[idx]
             if fetch_line != last_fetch_line:
                 last_fetch_line = fetch_line
                 fetch_lines += 1
-                access = self.hierarchy.access_inst(inst_va)
+                access = self.hierarchy.access_inst(dec.vas[idx])
                 if not access.l1_hit:
                     stall = access.latency - self.hierarchy.L1_LATENCY
                     clock += stall
@@ -335,7 +352,7 @@ class Pipeline:
             if kind is Op.ALU:
                 t = clock
                 taint = 0.0
-                for src in op.reads():
+                for src in dec.reads[idx]:
                     ready = reg_ready.get(src)
                     if ready is not None and ready > t:
                         t = ready
@@ -367,7 +384,7 @@ class Pipeline:
                     if head > clock:
                         clock = head
                 t = clock
-                for src in op.reads():
+                for src in dec.reads[idx]:
                     ready = reg_ready.get(src)
                     if ready is not None and ready > t:
                         t = ready
@@ -400,9 +417,10 @@ class Pipeline:
 
             elif kind is Op.CALL:
                 callee = self.layout[op.callee]
-                self.branch_unit.rsb.push(func.va_of(idx + 1))
+                self.branch_unit.rsb.push(dec.vas[idx + 1])
                 call_stack.append((func, idx + 1))
                 func, body, idx = callee, callee.body, 0
+                dec = callee.decoded()
                 last_fetch_line = -1
                 rob.append(clock)
                 if trace is not None:
@@ -414,9 +432,10 @@ class Pipeline:
                     op, func, idx, regs, reg_ready, unresolved, clock,
                     context, translate, result)
                 if kind is Op.ICALL:
-                    self.branch_unit.rsb.push(func.va_of(idx + 1))
+                    self.branch_unit.rsb.push(dec.vas[idx + 1])
                     call_stack.append((func, idx + 1))
                 func, body, idx = new_func, new_func.body, 0
+                dec = new_func.decoded()
                 last_fetch_line = -1
                 rob.append(clock)
                 if trace is not None:
@@ -431,6 +450,7 @@ class Pipeline:
                                         translate, result)
                 func, idx = call_stack.pop()
                 body = func.body
+                dec = func.decoded()
                 last_fetch_line = -1
                 rob.append(clock)
                 continue
@@ -596,6 +616,18 @@ class Pipeline:
         tainted = src_taint > t
         if speculative:
             result.speculative_loads += 1
+            if self._passive_allow and ev.active_journal() is None:
+                # UNSAFE fast path: the decision is statically ALLOW with
+                # no latency, no LRU freeze, and no event emission, so the
+                # query (and the stats-free L1 probe feeding it) can be
+                # skipped without changing any measured number.
+                access = self.hierarchy.access_data(pa)
+                regs[op.dst] = self.memory.load(pa)
+                done = t + access.latency
+                reg_ready[op.dst] = done
+                taint_until[op.dst] = max(spec_until, src_taint)
+                rob.append(done)
+                return clock
             l1_hit = self.hierarchy.is_l1d_hit(pa)
             journal = ev.active_journal()
             if journal is not None:
@@ -854,6 +886,14 @@ class Pipeline:
                     idx += 1
                     continue
                 journal = ev.active_journal()
+                if self._passive_allow and journal is None:
+                    # Same UNSAFE fast path as the committed-side load.
+                    self.hierarchy.access_data(pa)
+                    shadow[op.dst] = self.memory.load(pa)
+                    shadow_taint.add(op.dst)
+                    result.transient_loads_executed += 1
+                    idx += 1
+                    continue
                 if journal is not None:
                     ev.set_site(clock, context.context_id, func.va_of(idx),
                                 func.name, self.policy.name)

@@ -51,6 +51,25 @@ class PerspectivePolicy(CountingPolicy):
         #: rather than conservatively blocked, isolating the overhead that
         #: unknown allocations contribute.  Insecure; measurement only.
         self.treat_unknown_as_owned = treat_unknown_as_owned
+        # Per-context memo of (ISV, bitmap pages): resolved once per view
+        # epoch instead of on every speculative load.  Invalidated when
+        # the framework installs/replaces any view (framework.view_epoch),
+        # so runtime shrinking still takes effect immediately.  Only the
+        # *object references* are memoized -- every bitmap query and cache
+        # lookup still runs, keeping all measured stats identical.
+        self._view_memo: dict[int, tuple] = {}
+        self._view_epoch = framework.view_epoch
+
+    def _views_for(self, ctx: int) -> tuple:
+        fw = self.framework
+        if self._view_epoch != fw.view_epoch:
+            self._view_memo.clear()
+            self._view_epoch = fw.view_epoch
+        views = self._view_memo.get(ctx)
+        if views is None:
+            views = (fw.isv_for(ctx), fw.isv_pages_for(ctx))
+            self._view_memo[ctx] = views
+        return views
 
     def cfi_enabled(self) -> bool:
         return self.cfi
@@ -70,7 +89,7 @@ class PerspectivePolicy(CountingPolicy):
     # -- ISV side ---------------------------------------------------------
 
     def _check_isv(self, ctx: int, query: LoadQuery) -> LoadDecision | None:
-        isv = self.framework.isv_for(ctx)
+        isv, pages = self._views_for(ctx)
         if isv is None:
             # No view installed: nothing is trusted speculatively.
             ev.emit_here("isv-miss", reason="no-view")
@@ -81,7 +100,6 @@ class PerspectivePolicy(CountingPolicy):
         if cached is None:
             # Conservative block on miss; refill from the bitmap page.
             ev.emit_here("isv-miss", reason="cache-refill")
-            pages = self.framework.isv_pages_for(ctx)
             bit = pages.bit_for(query.inst_va)
             cache.fill(ctx, block_key, bit)
             return self.block("isv", extra_latency=REFILL_LATENCY)

@@ -24,6 +24,9 @@ class UnsafePolicy(SpeculationPolicy):
     """No protection: every speculative load proceeds."""
 
     name = "unsafe"
+    #: Opt into the pipeline's passive fast path: check_load is total,
+    #: side-effect free, and always ALLOW (see Pipeline.set_policy).
+    passive_allow = True
 
     def check_load(self, query: LoadQuery) -> LoadDecision:
         return LoadDecision.ALLOW

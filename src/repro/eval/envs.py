@@ -110,14 +110,20 @@ _PERSPECTIVE_FLAVORS = {
 }
 
 
-def make_env(workload_name: str, scheme: str) -> PerfEnv:
+def make_env(workload_name: str, scheme: str, *,
+             image: "KernelImage | None" = None) -> PerfEnv:
     """Boot a kernel, create the workload process, arm the scheme.
 
     Every scheme runs the same offline profiling pass first (Perspective
     needs it to build views; the others discard it), so all measurement
     environments start from identical microarchitectural history.
+
+    ``image`` lets grid runners thread one prebuilt :func:`shared_image`
+    through every cell instead of re-resolving it per environment; the
+    default is the process-wide shared image either way, so results are
+    identical.
     """
-    kernel = MiniKernel(image=shared_image())
+    kernel = MiniKernel(image=shared_image() if image is None else image)
     proc = kernel.create_process(workload_name)
     framework = None
     isv = None

@@ -59,6 +59,18 @@ class LEBenchExperiment:
         return worst_test, 100.0 * worst
 
 
+def lebench_cell(scheme: str, rare_every: int = RARE_EVERY,
+                 image=None) -> dict[str, float]:
+    """One (scheme) cell of the LEBench grid: per-test average cycles.
+
+    Shared by the serial runner and the parallel engine
+    (:mod:`repro.exec`), which is what makes the two paths byte-identical
+    by construction.
+    """
+    env = make_env("lebench", scheme, image=image)
+    return run_lebench(env.kernel, env.proc, rare_every=rare_every)
+
+
 def run_lebench_experiment(schemes: tuple[str, ...] = PERF_SCHEMES,
                            rare_every: int = RARE_EVERY,
                            ) -> LEBenchExperiment:
@@ -66,10 +78,10 @@ def run_lebench_experiment(schemes: tuple[str, ...] = PERF_SCHEMES,
     if "unsafe" not in schemes:
         schemes = ("unsafe",) + tuple(schemes)
     experiment = LEBenchExperiment(schemes=tuple(schemes))
+    image = shared_image()
     for scheme in schemes:
-        env = make_env("lebench", scheme)
-        experiment.cycles[scheme] = run_lebench(
-            env.kernel, env.proc, rare_every=rare_every)
+        experiment.cycles[scheme] = lebench_cell(
+            scheme, rare_every=rare_every, image=image)
     return experiment
 
 
@@ -103,6 +115,19 @@ class AppsExperiment:
         return 100.0 * (1.0 - mean)
 
 
+def apps_cell(app: str, scheme: str, requests: int | None = None,
+              rare_every: int = RARE_EVERY, image=None) -> float:
+    """One (app, scheme) cell of the apps grid: kernel cycles/request."""
+    env = make_env(app, scheme, image=image)
+    workload = AppWorkload(env.kernel, env.proc, APP_SPECS[app],
+                           rare_every=rare_every)
+    batch = requests if requests is not None \
+        else CLIENTS[app].sampled_requests
+    workload.serve(24, measure=False)  # warmup to steady state
+    result = workload.serve(batch)
+    return result.kernel_cycles_per_request
+
+
 def run_apps_experiment(schemes: tuple[str, ...] = PERF_SCHEMES,
                         apps: tuple[str, ...] = APP_NAMES,
                         requests: int | None = None,
@@ -111,17 +136,13 @@ def run_apps_experiment(schemes: tuple[str, ...] = PERF_SCHEMES,
     if "unsafe" not in schemes:
         schemes = ("unsafe",) + tuple(schemes)
     experiment = AppsExperiment(schemes=tuple(schemes))
+    image = shared_image()
     for app in apps:
         per_scheme_kernel: dict[str, float] = {}
         for scheme in schemes:
-            env = make_env(app, scheme)
-            workload = AppWorkload(env.kernel, env.proc, APP_SPECS[app],
-                                   rare_every=rare_every)
-            batch = requests if requests is not None \
-                else CLIENTS[app].sampled_requests
-            workload.serve(24, measure=False)  # warmup to steady state
-            result = workload.serve(batch)
-            per_scheme_kernel[scheme] = result.kernel_cycles_per_request
+            per_scheme_kernel[scheme] = apps_cell(
+                app, scheme, requests=requests, rare_every=rare_every,
+                image=image)
         # Userspace budget from the paper's kernel-time fraction at the
         # UNSAFE baseline; identical across schemes (user code is not
         # gated by kernel speculation control).
@@ -151,18 +172,27 @@ class SurfaceExperiment:
         return 1.0 - size / self.total_functions
 
 
+def surface_cell(app: str, image=None) -> dict[str, int]:
+    """One (app) cell of the surface grid: static/dynamic ISV sizes."""
+    if image is None:
+        image = shared_image()
+    static_size = len(static_isv_functions(image, APPLICATIONS[app]))
+    kernel = MiniKernel(image=image)
+    proc = kernel.create_process(app)
+    isv = build_isv_for(kernel, proc, app, "dynamic")
+    return {"static": static_size, "dynamic": len(isv),
+            "total_functions": image.total_functions}
+
+
 def run_surface_experiment(apps: tuple[str, ...] = ("lebench",) + APP_NAMES,
                            ) -> SurfaceExperiment:
     """Compute per-app static and dynamic ISV sizes (Table 8.1)."""
     image = shared_image()
     experiment = SurfaceExperiment(total_functions=image.total_functions)
     for app in apps:
-        experiment.static_isv_size[app] = len(
-            static_isv_functions(image, APPLICATIONS[app]))
-        kernel = MiniKernel(image=image)
-        proc = kernel.create_process(app)
-        isv = build_isv_for(kernel, proc, app, "dynamic")
-        experiment.dynamic_isv_size[app] = len(isv)
+        cell = surface_cell(app, image=image)
+        experiment.static_isv_size[app] = cell["static"]
+        experiment.dynamic_isv_size[app] = cell["dynamic"]
     return experiment
 
 
@@ -253,6 +283,45 @@ class BreakdownExperiment:
     metrics: dict | None = None
 
 
+def breakdown_cell(workload: str, scheme: str, requests: int = 30,
+                   image=None, registry=None) -> dict:
+    """One (workload, scheme) cell of the breakdown grid.
+
+    Returns the raw fence-breakdown fields and view-cache hit rates; when
+    ``registry`` is given, also collects the per-env gauges into it under
+    the cell's prefix (exactly what the serial loop does).  Run inside an
+    ``observing(...)`` scope to capture the hot-path counters too.
+    """
+    env = make_env(workload, scheme, image=image)
+    if workload == "lebench":
+        from repro.workloads.driver import Driver
+        from repro.workloads.lebench import exercise_all
+        driver = Driver(env.kernel, env.proc, rare_every=RARE_EVERY)
+        exercise_all(driver)
+        exercise_all(driver)
+        driver_stats = driver.stats
+    else:
+        app_workload = AppWorkload(env.kernel, env.proc,
+                                   APP_SPECS[workload],
+                                   rare_every=RARE_EVERY)
+        app_workload.serve(requests)
+        driver_stats = app_workload.driver.stats
+    fb = FenceBreakdown.from_exec(driver_stats.exec)
+    fw = env.framework
+    if registry is not None:
+        from repro.obs.collect import collect_env
+        collect_env(registry, env.kernel, fw,
+                    prefix=f"{workload}.{scheme}")
+    return {
+        "breakdown": {"isv_fences": fb.isv_fences,
+                      "dsv_fences": fb.dsv_fences,
+                      "other_fences": fb.other_fences,
+                      "committed_ops": fb.committed_ops},
+        "isv_cache_hit_rate": fw.isv_cache.stats.hit_rate,
+        "dsv_cache_hit_rate": fw.dsv_cache.stats.hit_rate,
+    }
+
+
 def run_breakdown_experiment(
         workloads: tuple[str, ...] = ("lebench",) + APP_NAMES,
         schemes: tuple[str, ...] = ("perspective-static", "perspective",
@@ -262,57 +331,50 @@ def run_breakdown_experiment(
         journal: "EventJournal | None" = None) -> BreakdownExperiment:
     """Fence attribution and view-cache hit rates under Perspective.
 
-    With ``observe=True`` the whole measurement runs inside a fresh
-    :class:`repro.obs.MetricsRegistry`; its snapshot (hot-path counters,
-    span timings, and per-env collector gauges) is attached as
-    ``experiment.metrics``.  A ``journal`` additionally records every
-    enforcement decision as a security event.  The measured numbers are
-    identical either way -- the observability plane only reads simulated
-    state.
+    With ``observe=True`` every cell runs inside its own fresh
+    :class:`repro.obs.MetricsRegistry`; the per-cell snapshots (hot-path
+    counters, span timings, and per-env collector gauges) merge in
+    declared cell order into ``experiment.metrics``.  The per-cell
+    structure is deliberate: it is exactly what the parallel engine
+    (:mod:`repro.exec`) does, so serial and parallel metrics stay
+    byte-identical down to float-addition order.  A ``journal``
+    additionally records every enforcement decision as a security event.
+    The measured numbers are identical either way -- the observability
+    plane only reads simulated state.
     """
     from contextlib import nullcontext
 
     from repro.obs import MetricsRegistry, observing
-    from repro.obs.collect import collect_env
     from repro.obs.events import journaling
-    registry = MetricsRegistry() if observe else None
     experiment = BreakdownExperiment()
+    merged: MetricsRegistry | None = None
+    image = shared_image()
     # observe=False must not disturb any registry an outer caller (e.g.
     # a campaign) already activated, hence nullcontext over observing(None);
     # same for the journal.
-    with observing(registry) if registry is not None else nullcontext(), \
-            journaling(journal) if journal is not None else nullcontext():
+    with journaling(journal) if journal is not None else nullcontext():
         for workload in workloads:
             experiment.breakdowns[workload] = {}
             experiment.isv_cache_hit_rate[workload] = {}
             experiment.dsv_cache_hit_rate[workload] = {}
             for scheme in schemes:
-                env = make_env(workload, scheme)
-                driver_stats = None
-                if workload == "lebench":
-                    from repro.workloads.driver import Driver
-                    from repro.workloads.lebench import exercise_all
-                    driver = Driver(env.kernel, env.proc,
-                                    rare_every=RARE_EVERY)
-                    exercise_all(driver)
-                    exercise_all(driver)
-                    driver_stats = driver.stats
-                else:
-                    app_workload = AppWorkload(env.kernel, env.proc,
-                                               APP_SPECS[workload],
-                                               rare_every=RARE_EVERY)
-                    app_workload.serve(requests)
-                    driver_stats = app_workload.driver.stats
-                experiment.breakdowns[workload][scheme] = \
-                    FenceBreakdown.from_exec(driver_stats.exec)
-                fw = env.framework
-                experiment.isv_cache_hit_rate[workload][scheme] = \
-                    fw.isv_cache.stats.hit_rate
-                experiment.dsv_cache_hit_rate[workload][scheme] = \
-                    fw.dsv_cache.stats.hit_rate
+                registry = MetricsRegistry() if observe else None
+                with observing(registry) if registry is not None \
+                        else nullcontext():
+                    cell = breakdown_cell(workload, scheme,
+                                          requests=requests,
+                                          image=image, registry=registry)
                 if registry is not None:
-                    collect_env(registry, env.kernel, fw,
-                                prefix=f"{workload}.{scheme}")
-    if registry is not None:
-        experiment.metrics = registry.snapshot()
+                    if merged is None:
+                        merged = registry
+                    else:
+                        merged.merge(registry)
+                experiment.breakdowns[workload][scheme] = \
+                    FenceBreakdown(**cell["breakdown"])
+                experiment.isv_cache_hit_rate[workload][scheme] = \
+                    cell["isv_cache_hit_rate"]
+                experiment.dsv_cache_hit_rate[workload][scheme] = \
+                    cell["dsv_cache_hit_rate"]
+    if merged is not None:
+        experiment.metrics = merged.snapshot()
     return experiment

@@ -40,21 +40,39 @@ class UnknownAllocationsResult:
         return self.overhead_full_pct - self.overhead_unknown_allowed_pct
 
 
+def unknown_allocations_cell(scheme: str, rare_every: int = RARE_EVERY,
+                             treat_unknown: bool = False,
+                             ) -> dict[str, float]:
+    """One cell of the unknown-allocations grid: LEBench cycles under
+    ``scheme``, optionally with unknown memory allowed to speculate.
+
+    Shared by the serial runner and :mod:`repro.exec`.
+    """
+    env = make_env("lebench", scheme)
+    if treat_unknown:
+        policy = env.policy
+        assert isinstance(policy, PerspectivePolicy)
+        policy.treat_unknown_as_owned = True
+    return run_lebench(env.kernel, env.proc, rare_every=rare_every)
+
+
+def unknown_overhead_pct(cycles: dict[str, float],
+                         baseline: dict[str, float]) -> float:
+    """Geomean LEBench overhead of ``cycles`` vs ``baseline``, percent."""
+    mean = geomean([cycles[t] / baseline[t] for t in baseline])
+    return 100.0 * (mean - 1.0)
+
+
 def run_unknown_allocations(rare_every: int = RARE_EVERY,
                             ) -> UnknownAllocationsResult:
     """Quantify the unknown-allocation share of Perspective's overhead."""
-    baseline_env = make_env("lebench", "unsafe")
-    baseline = run_lebench(baseline_env.kernel, baseline_env.proc,
-                           rare_every=rare_every)
+    baseline = unknown_allocations_cell("unsafe", rare_every=rare_every)
 
     def overhead(treat_unknown: bool) -> float:
-        env = make_env("lebench", "perspective")
-        policy = env.policy
-        assert isinstance(policy, PerspectivePolicy)
-        policy.treat_unknown_as_owned = treat_unknown
-        cycles = run_lebench(env.kernel, env.proc, rare_every=rare_every)
-        mean = geomean([cycles[t] / baseline[t] for t in baseline])
-        return 100.0 * (mean - 1.0)
+        cycles = unknown_allocations_cell("perspective",
+                                          rare_every=rare_every,
+                                          treat_unknown=treat_unknown)
+        return unknown_overhead_pct(cycles, baseline)
 
     return UnknownAllocationsResult(
         overhead_full_pct=overhead(False),
@@ -102,37 +120,58 @@ def run_slab_sensitivity(apps: tuple[str, ...] = APP_NAMES,
     result = SlabSensitivityResult()
     image = shared_image()
     for app in apps:
-        per_config: dict[bool, tuple[float, float, float, int]] = {}
-        for secure in (True, False):
-            kernel = MiniKernel(image=image, config=KernelConfig(
-                secure_slab=secure, slab_warm_objects=6000))
-            proc = kernel.create_process(app)
-            tenants = [kernel.create_process(f"tenant{i}")
-                       for i in range(background_tenants)]
-            # Background slab churn: small live object populations per
-            # tenant plus steady open/close traffic.
-            tenant_fds: list[list[int]] = []
-            for tenant in tenants:
-                fds = [kernel.syscall(tenant, "open", args=(j,)).retval
-                       for j in range(4)]
-                tenant_fds.append(fds)
-            workload = AppWorkload(kernel, proc, APP_SPECS[app],
-                                   rare_every=0)
-            run = workload.serve(requests)
-            for tenant, fds in zip(tenants, tenant_fds):
-                for fd in fds[:2]:
-                    kernel.syscall(tenant, "close", args=(fd,))
-                kernel.syscall(tenant, "open", args=(9,))
-            stats = kernel.slab.stats
-            seconds = run.kernel_cycles / CORE_HZ
-            per_second = (stats.reassignment_frees / seconds
-                          if seconds > 0 else 0.0)
-            per_config[secure] = (
-                kernel.slab.utilization(), stats.page_return_ratio,
-                per_second, kernel.slab.collocated_owner_pairs())
-        result.secure_utilization[app] = per_config[True][0]
-        result.baseline_utilization[app] = per_config[False][0]
-        result.page_return_ratio[app] = per_config[True][1]
-        result.reassignments_per_second[app] = per_config[True][2]
-        result.baseline_collocations[app] = per_config[False][3]
+        cell = slab_sensitivity_cell(app, requests=requests,
+                                     background_tenants=background_tenants,
+                                     image=image)
+        result.secure_utilization[app] = cell["secure_utilization"]
+        result.baseline_utilization[app] = cell["baseline_utilization"]
+        result.page_return_ratio[app] = cell["page_return_ratio"]
+        result.reassignments_per_second[app] = \
+            cell["reassignments_per_second"]
+        result.baseline_collocations[app] = cell["baseline_collocations"]
     return result
+
+
+def slab_sensitivity_cell(app: str, requests: int = 60,
+                          background_tenants: int = 3,
+                          image=None) -> dict[str, float]:
+    """One (app) cell of the slab-sensitivity grid: both allocator
+    configurations measured back to back, exactly as the serial loop
+    body does.  Shared by the serial runner and :mod:`repro.exec`."""
+    if image is None:
+        image = shared_image()
+    per_config: dict[bool, tuple[float, float, float, int]] = {}
+    for secure in (True, False):
+        kernel = MiniKernel(image=image, config=KernelConfig(
+            secure_slab=secure, slab_warm_objects=6000))
+        proc = kernel.create_process(app)
+        tenants = [kernel.create_process(f"tenant{i}")
+                   for i in range(background_tenants)]
+        # Background slab churn: small live object populations per
+        # tenant plus steady open/close traffic.
+        tenant_fds: list[list[int]] = []
+        for tenant in tenants:
+            fds = [kernel.syscall(tenant, "open", args=(j,)).retval
+                   for j in range(4)]
+            tenant_fds.append(fds)
+        workload = AppWorkload(kernel, proc, APP_SPECS[app],
+                               rare_every=0)
+        run = workload.serve(requests)
+        for tenant, fds in zip(tenants, tenant_fds):
+            for fd in fds[:2]:
+                kernel.syscall(tenant, "close", args=(fd,))
+            kernel.syscall(tenant, "open", args=(9,))
+        stats = kernel.slab.stats
+        seconds = run.kernel_cycles / CORE_HZ
+        per_second = (stats.reassignment_frees / seconds
+                      if seconds > 0 else 0.0)
+        per_config[secure] = (
+            kernel.slab.utilization(), stats.page_return_ratio,
+            per_second, kernel.slab.collocated_owner_pairs())
+    return {
+        "secure_utilization": per_config[True][0],
+        "baseline_utilization": per_config[False][0],
+        "page_return_ratio": per_config[True][1],
+        "reassignments_per_second": per_config[True][2],
+        "baseline_collocations": per_config[False][3],
+    }

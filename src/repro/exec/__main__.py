@@ -1,0 +1,154 @@
+"""CLI for the parallel experiment engine.
+
+Examples::
+
+    python -m repro.exec --list
+    python -m repro.exec lebench --workers 4
+    python -m repro.exec suite --workers 4 --cache-dir /tmp/exec-cache
+    python -m repro.exec breakdown --no-cache --json
+    python -m repro.exec --wipe-cache
+
+Results are byte-identical to the serial ``run_*`` functions at any
+worker count; see docs/performance.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from typing import Any
+
+from repro.exec.engine import EngineConfig, ExperimentEngine
+from repro.exec.grids import grid_names
+
+#: The full table/figure suite (what benchmarks/bench_parallel_eval.py
+#: measures): every perf-relevant grid of the evaluation chapters.
+SUITE = ("lebench", "apps", "breakdown", "surface")
+
+
+def _jsonable(result: Any) -> Any:
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        return dataclasses.asdict(result)
+    return result
+
+
+def _describe(name: str, result: Any) -> list[str]:
+    """A few headline numbers per experiment, for the human-readable
+    default output."""
+    lines: list[str] = []
+    if name == "lebench":
+        for scheme in result.schemes:
+            if scheme == "unsafe":
+                continue
+            lines.append(f"  {scheme}: "
+                         f"{result.average_overhead_pct(scheme):+.2f}% "
+                         f"geomean LEBench overhead")
+    elif name == "apps":
+        for scheme in result.schemes:
+            if scheme == "unsafe":
+                continue
+            pct = result.average_throughput_overhead_pct(scheme)
+            lines.append(f"  {scheme}: {pct:+.2f}% mean throughput loss")
+    elif name == "surface":
+        for app in result.dynamic_isv_size:
+            lines.append(
+                f"  {app}: ISV {result.dynamic_isv_size[app]}"
+                f"/{result.total_functions} functions "
+                f"({100 * result.reduction(app, 'dynamic'):.1f}% cut)")
+    elif name == "breakdown":
+        for workload, per_scheme in result.isv_cache_hit_rate.items():
+            rates = ", ".join(f"{s}={r:.3f}"
+                              for s, r in per_scheme.items())
+            lines.append(f"  {workload} ISV-cache hit rate: {rates}")
+    elif name in ("sweep-branch", "sweep-rob"):
+        for value, pct in result.overhead_pct.items():
+            lines.append(f"  {result.parameter}={value}: {pct:+.2f}% "
+                         f"({result.scheme})")
+    elif name == "unknown-allocations":
+        lines.append(f"  full: {result.overhead_full_pct:+.2f}%  "
+                     f"unknown-allowed: "
+                     f"{result.overhead_unknown_allowed_pct:+.2f}%  "
+                     f"contribution: "
+                     f"{result.unknown_contribution_pct:+.2f} pts")
+    elif name == "slab-sensitivity":
+        lines.append(f"  mean slab memory overhead: "
+                     f"{result.average_memory_overhead_pct():.2f}%")
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exec",
+        description="Run evaluation experiments on the parallel engine "
+                    "with content-addressed result caching.")
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment names (see --list), or 'suite' "
+                             f"for {'+'.join(SUITE)}")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="process-pool width (default: 1, serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the result cache entirely")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="cache root (default: $REPRO_EXEC_CACHE or "
+                             "~/.cache/repro/exec)")
+    parser.add_argument("--json", action="store_true",
+                        help="print each result as JSON instead of the "
+                             "headline summary")
+    parser.add_argument("--list", action="store_true",
+                        help="list known experiments and exit")
+    parser.add_argument("--wipe-cache", action="store_true",
+                        help="delete every cached result, then run any "
+                             "named experiments")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in grid_names():
+            print(name)
+        return 0
+
+    engine = ExperimentEngine(EngineConfig(
+        workers=max(1, args.workers), use_cache=not args.no_cache,
+        cache_dir=args.cache_dir))
+
+    if args.wipe_cache:
+        removed = engine.cache.wipe()
+        print(f"wiped {removed} cached result"
+              f"{'' if removed == 1 else 's'} from {engine.cache.root}")
+        if not args.experiments:
+            return 0
+
+    if not args.experiments:
+        parser.error("no experiments given (try --list or 'suite')")
+
+    names: list[str] = []
+    for name in args.experiments:
+        names.extend(SUITE if name == "suite" else [name])
+    known = set(grid_names())
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)} "
+                     f"(see --list)")
+
+    for name in names:
+        start = time.perf_counter()
+        result, report = engine.run(name)
+        elapsed = time.perf_counter() - start
+        print(f"{report.summary()}, {elapsed:.2f}s")
+        if args.json:
+            print(json.dumps(_jsonable(result), indent=2, sort_keys=True))
+        else:
+            for line in _describe(name, result):
+                print(line)
+
+    stats = engine.cache.stats
+    if not args.no_cache:
+        print(f"cache totals: {stats.hits} hit, {stats.misses} miss, "
+              f"{stats.stores} stored at {engine.cache.root}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

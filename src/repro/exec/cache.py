@@ -1,0 +1,102 @@
+"""Content-addressed on-disk result cache for experiment cells.
+
+Layout: one JSON file per cell under ``<root>/<fp[:2]>/<fp>.json`` where
+``fp`` is the cell fingerprint (:mod:`repro.exec.fingerprint`).  Each
+record stores the experiment name, cell key, cell parameters, and the
+cell's JSON payload, so entries are self-describing and inspectable with
+any JSON tool.  Writes are atomic (temp file + rename), so a killed run
+never leaves a truncated record; unreadable records count as misses and
+are overwritten.
+
+The default root is ``~/.cache/repro/exec``, overridable with the
+``REPRO_EXEC_CACHE`` environment variable or per-instance.  Hit/miss/
+store counts are exported through :mod:`repro.obs` as
+``exec.cache.hits`` / ``exec.cache.misses`` / ``exec.cache.stores``
+whenever a registry is observing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.obs import registry as obs
+
+ENV_VAR = "REPRO_EXEC_CACHE"
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "exec"
+
+
+@dataclass
+class ResultCacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed store of cell payloads."""
+
+    root: Path = field(default_factory=default_cache_dir)
+    stats: ResultCacheStats = field(default_factory=ResultCacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> dict[str, Any] | None:
+        """The stored record for ``fingerprint``, or ``None`` on a miss."""
+        try:
+            text = self._path(fingerprint).read_text(encoding="utf-8")
+            record = json.loads(text)
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            obs.add("exec.cache.misses")
+            return None
+        if not isinstance(record, dict) or "payload" not in record:
+            self.stats.misses += 1
+            obs.add("exec.cache.misses")
+            return None
+        self.stats.hits += 1
+        obs.add("exec.cache.hits")
+        return record
+
+    def put(self, fingerprint: str, record: dict[str, Any]) -> None:
+        """Atomically store ``record`` under ``fingerprint``."""
+        path = self._path(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(
+            json.dumps(record, sort_keys=False, separators=(",", ":")),
+            encoding="utf-8")
+        os.replace(tmp, path)
+        self.stats.stores += 1
+        obs.add("exec.cache.stores")
+
+    def entries(self) -> list[Path]:
+        """Every record file currently in the cache, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("??/*.json"))
+
+    def wipe(self) -> int:
+        """Delete every record; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,152 @@
+"""Content fingerprints for experiment cells.
+
+The result cache (:mod:`repro.exec.cache`) is addressed by a fingerprint
+of *everything that determines a cell's output*: the cell's own
+configuration plus the source of every ``repro`` module the cell's entry
+points transitively import.  The import closure is computed statically
+(an AST walk over each module's source -- nothing is executed), so
+fingerprinting is cheap and has no side effects.
+
+The rules, as enforced by the tests:
+
+* editing any module inside a cell's import closure changes its
+  fingerprint (the cached result is invalidated);
+* editing a module *outside* the closure leaves the fingerprint
+  unchanged (unrelated edits replay from cache);
+* the fingerprint is independent of dict ordering, machine, and process
+  (canonical JSON + sha256 over sorted module lists).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import importlib.util
+import json
+from typing import Any
+
+#: Only first-party modules participate in fingerprints.  Third-party
+#: and stdlib dependencies are pinned by the environment, not the cache.
+PACKAGE_ROOT = "repro"
+
+_SOURCE_CACHE: dict[str, bytes | None] = {}
+_CLOSURE_CACHE: dict[tuple[str, ...], tuple[str, ...]] = {}
+
+
+def clear_caches() -> None:
+    """Drop the per-process source/closure caches (tests, long sessions)."""
+    _SOURCE_CACHE.clear()
+    _CLOSURE_CACHE.clear()
+
+
+def _module_source(module: str) -> bytes | None:
+    """Raw source bytes of ``module``, or ``None`` if it is not a plain
+    ``.py`` file (or not an importable module at all).
+
+    Resolution goes through :func:`importlib.util.find_spec`, so the
+    bytes fingerprinted are exactly the bytes that would execute.
+    """
+    try:
+        spec = importlib.util.find_spec(module)
+    except (ImportError, AttributeError, ValueError):
+        return None
+    if spec is None or spec.origin is None \
+            or not spec.origin.endswith(".py"):
+        return None
+    try:
+        with open(spec.origin, "rb") as fh:
+            return fh.read()
+    except OSError:
+        return None
+
+
+def _source(module: str) -> bytes | None:
+    if module not in _SOURCE_CACHE:
+        _SOURCE_CACHE[module] = _module_source(module)
+    return _SOURCE_CACHE[module]
+
+
+def _imported_modules(source: bytes) -> set[str]:
+    """``repro.*`` module names a source file may import.
+
+    ``from repro.x import y`` contributes both ``repro.x`` and
+    ``repro.x.y`` -- the latter resolves to a source file only when
+    ``y`` is a submodule, and is otherwise discarded by :func:`_source`.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return set()
+    prefix = PACKAGE_ROOT + "."
+    found: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == PACKAGE_ROOT \
+                        or alias.name.startswith(prefix):
+                    found.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                continue  # the repo uses absolute imports throughout
+            mod = node.module or ""
+            if mod == PACKAGE_ROOT or mod.startswith(prefix):
+                found.add(mod)
+                for alias in node.names:
+                    found.add(f"{mod}.{alias.name}")
+    return found
+
+
+def import_closure(roots: tuple[str, ...] | list[str]) -> tuple[str, ...]:
+    """Transitive ``repro.*`` import closure of ``roots``, sorted.
+
+    Ancestor packages are included (their ``__init__`` executes on
+    import).  Purely static: modules are parsed, never imported.
+    """
+    key = tuple(sorted(set(roots)))
+    cached = _CLOSURE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    seen: set[str] = set()
+    queue: list[str] = list(key)
+    while queue:
+        name = queue.pop()
+        candidates = [name]
+        while "." in name:
+            name = name.rsplit(".", 1)[0]
+            candidates.append(name)
+        for cand in candidates:
+            if cand in seen:
+                continue
+            src = _source(cand)
+            if src is None:
+                continue  # not a module (e.g. an imported function name)
+            seen.add(cand)
+            queue.extend(m for m in _imported_modules(src)
+                         if m not in seen)
+    closure = tuple(sorted(seen))
+    _CLOSURE_CACHE[key] = closure
+    return closure
+
+
+def code_fingerprint(modules: tuple[str, ...] | list[str]) -> str:
+    """sha256 over the sorted (module name, source hash) pairs."""
+    digest = hashlib.sha256()
+    for module in sorted(set(modules)):
+        src = _source(module)
+        if src is None:
+            continue
+        digest.update(module.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(hashlib.sha256(src).digest())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def cell_fingerprint(experiment: str, key: tuple[str, ...],
+                     cell_params: dict[str, Any], code_fp: str) -> str:
+    """Content address of one cell: config + code version, canonical."""
+    blob = json.dumps(
+        {"experiment": experiment, "key": list(key),
+         "params": cell_params, "code": code_fp},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

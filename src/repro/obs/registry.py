@@ -212,6 +212,19 @@ class MetricsRegistry:
                 stats = self._spans[path] = SpanStats()
             stats.count += theirs.count
             stats.cycles += theirs.cycles
+        # Canonical key order after every merge: pool shards gather in
+        # completion order, and downstream consumers that iterate the
+        # registry directly (not via the sorted snapshot) must not see
+        # that order.  Values are already order-independent (counters,
+        # histogram and span figures are sums; gauges/meta are explicit
+        # last-write-wins).
+        self.meta = {k: self.meta[k] for k in sorted(self.meta)}
+        self._counters = {k: self._counters[k]
+                          for k in sorted(self._counters)}
+        self._gauges = {k: self._gauges[k] for k in sorted(self._gauges)}
+        self._histograms = {k: self._histograms[k]
+                            for k in sorted(self._histograms)}
+        self._spans = {k: self._spans[k] for k in sorted(self._spans)}
 
     @classmethod
     def from_snapshot(cls, snapshot: dict[str, Any]) -> "MetricsRegistry":

@@ -26,7 +26,6 @@ cells as ``—`` with a failure summary instead of aborting.
 from __future__ import annotations
 
 import json
-import multiprocessing
 import pathlib
 import random
 import time
@@ -42,6 +41,7 @@ from repro.eval.runner import (
     run_lebench_experiment,
     run_surface_experiment,
 )
+from repro.exec.engine import run_in_subprocess
 from repro.obs import registry as obs
 from repro.reliability import serde
 from repro.reliability.faultplane import FaultPlane, FaultSpec, inject
@@ -209,8 +209,8 @@ def _run_spec(name: str, params: dict[str, Any],
 
 
 def _campaign_worker(name: str, params: dict[str, Any],
-                     fault: dict[str, Any] | None, conn,
-                     collect_metrics: bool = False) -> None:
+                     fault: dict[str, Any] | None, collect_metrics: bool,
+                     conn) -> None:
     """Subprocess entry point: run one experiment, ship its payload."""
     try:
         payload, fires, snapshot = _run_spec(name, params, fault,
@@ -377,32 +377,17 @@ class CampaignRunner:
                 return True, payload, fires, snapshot
             except Exception as exc:  # noqa: BLE001
                 return False, f"{type(exc).__name__}: {exc}", {}, None
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:
-            ctx = multiprocessing.get_context("spawn")
-        parent_conn, child_conn = ctx.Pipe(duplex=False)
-        proc = ctx.Process(target=_campaign_worker,
-                           args=(name, params, fault, child_conn, collect))
-        proc.start()
-        child_conn.close()
-        message: dict[str, Any] | None = None
+        # Crash/timeout isolation rides on the engine's shared transport
+        # (fork with spawn fallback), same as the parallel cell pool.
         timeout = self.config.timeout_s
-        if parent_conn.poll(timeout):
-            try:
-                message = parent_conn.recv()
-            except EOFError:
-                message = None
-        proc.join(timeout=5.0 if message is not None else 0.0)
-        if proc.is_alive():
-            proc.terminate()
-            proc.join()
-            if message is None:
-                return False, f"timeout after {timeout}s", {}, None
-        parent_conn.close()
+        isolated = run_in_subprocess(
+            _campaign_worker, (name, params, fault, collect), timeout)
+        message: dict[str, Any] | None = isolated.message
+        if isolated.timed_out:
+            return False, f"timeout after {timeout}s", {}, None
         if message is None:
-            return False, f"worker crashed (exit code {proc.exitcode})", \
-                {}, None
+            return False, \
+                f"worker crashed (exit code {isolated.exitcode})", {}, None
         fires = message.get("fault_fires", {})
         if message["ok"]:
             return True, message["payload"], fires, \

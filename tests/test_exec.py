@@ -1,0 +1,490 @@
+"""The parallel experiment engine (:mod:`repro.exec`): serial/parallel
+parity, content-addressed caching, fingerprint invalidation, merge
+determinism, decode-cache invalidation, and the CLI."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import random
+import time
+
+import pytest
+
+from repro.cpu.isa import Function, OP_SIZE, load, nop
+from repro.cpu.pipeline import ExecResult
+from repro.eval import runner, sensitivity, sweeps
+from repro.exec import (
+    EngineConfig,
+    ExperimentEngine,
+    ResultCache,
+    cell_fingerprint,
+    code_fingerprint,
+    get_grid,
+    grid_names,
+    import_closure,
+    run_in_subprocess,
+)
+from repro.exec import fingerprint as fp_mod
+from repro.exec.__main__ import main as exec_main
+from repro.obs import MetricsRegistry, observing
+from repro.reliability import serde
+
+
+def canon(payload) -> str:
+    """Byte-level comparison key (insertion order preserved)."""
+    return json.dumps(payload, sort_keys=False)
+
+
+def engine(tmp_path, workers: int = 1, use_cache: bool = True,
+           ) -> ExperimentEngine:
+    return ExperimentEngine(EngineConfig(
+        workers=workers, use_cache=use_cache,
+        cache_dir=tmp_path / "cache"))
+
+
+# ---------------------------------------------------------------------------
+# Decode cache (hot-path memoization)
+# ---------------------------------------------------------------------------
+
+
+class TestDecodeCache:
+    def test_tables_match_body(self):
+        fn = Function("f", [nop(), load("r1", "r2"), nop()], base_va=0x400)
+        dec = fn.decoded()
+        assert dec.vas == tuple(0x400 + i * OP_SIZE for i in range(4))
+        assert dec.lines == tuple(va // 64 for va in dec.vas)
+        assert dec.reads == ((), ("r2",), (), ())  # implicit-RET slot
+        assert fn.decoded() is dec  # cached
+
+    def test_recomputes_on_body_growth(self):
+        fn = Function("f", [nop()])
+        dec = fn.decoded()
+        fn.body.append(nop())
+        dec2 = fn.decoded()
+        assert dec2 is not dec
+        assert dec2.length == 2
+
+    def test_recomputes_on_relocation(self):
+        fn = Function("f", [nop()])
+        dec = fn.decoded()
+        fn.base_va = 0x1000  # CodeLayout.add assigns addresses like this
+        dec2 = fn.decoded()
+        assert dec2 is not dec
+        assert dec2.vas[0] == 0x1000
+
+    def test_explicit_invalidation(self):
+        fn = Function("f", [nop(), nop()])
+        dec = fn.decoded()
+        fn.body[0] = load("r1", "r2")  # same length: undetectable
+        fn.invalidate_decode()
+        dec2 = fn.decoded()
+        assert dec2 is not dec
+        assert dec2.reads[0] == ("r2",)
+
+
+# ---------------------------------------------------------------------------
+# Order-independent merging
+# ---------------------------------------------------------------------------
+
+
+class TestMergeDeterminism:
+    def _exec_results(self):
+        parts = []
+        for i in range(5):
+            r = ExecResult(cycles=10.25 * (i + 1), committed_ops=100 + i,
+                           loads=7 * i)
+            for reason in ("dsv", "isv", "unknown")[: (i % 3) + 1]:
+                r.fenced_loads[f"{reason}{i}"] = i + 1
+            parts.append(r)
+        return parts
+
+    def test_exec_result_merge_is_order_independent(self):
+        reference = None
+        for seed in range(6):
+            parts = self._exec_results()
+            random.Random(seed).shuffle(parts)
+            total = ExecResult()
+            for part in parts:
+                total.merge(part)
+            blob = canon(dataclasses.asdict(total))
+            if reference is None:
+                reference = blob
+            assert blob == reference
+        assert list(json.loads(reference)["fenced_loads"]) == sorted(
+            json.loads(reference)["fenced_loads"])
+
+    def _registries(self):
+        regs = []
+        for i in range(4):
+            reg = MetricsRegistry()
+            # Deliberately insert keys in per-shard-dependent order.
+            for name in [f"c.{j}" for j in range(i, -1, -1)]:
+                reg.add(name, i + 1)
+            reg.gauge(f"g.{i}", float(i))
+            reg.observe(f"h.{i % 2}", 10.0 * (i + 1))
+            with reg.span(f"s.{i % 2}"):
+                reg.tick(5.0 + i)
+            regs.append(reg.snapshot())
+        return regs
+
+    def test_registry_merge_is_order_independent(self):
+        reference = None
+        for seed in range(6):
+            snaps = self._registries()
+            random.Random(seed).shuffle(snaps)
+            total = MetricsRegistry.from_snapshot(snaps[0])
+            for snap in snaps[1:]:
+                total.merge(MetricsRegistry.from_snapshot(snap))
+            blob = canon(total.snapshot())
+            if reference is None:
+                reference = blob
+            assert blob == reference
+        merged = json.loads(reference)
+        assert list(merged["counters"]) == sorted(merged["counters"])
+        assert list(merged["gauges"]) == sorted(merged["gauges"])
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints
+# ---------------------------------------------------------------------------
+
+
+class TestFingerprint:
+    def test_closure_is_transitive_and_scoped(self):
+        closure = import_closure(("repro.eval.runner",))
+        assert "repro.eval.runner" in closure
+        assert "repro.cpu.pipeline" in closure  # via envs -> kernel -> cpu
+        assert "repro" in closure  # ancestor package
+        assert "repro.reliability.campaign" not in closure
+        assert closure == tuple(sorted(closure))
+
+    def test_closure_ignores_non_repro_modules(self):
+        closure = import_closure(("repro.exec.fingerprint",))
+        assert all(m == "repro" or m.startswith("repro.")
+                   for m in closure)
+
+    def test_cell_fingerprint_canonical(self):
+        code = code_fingerprint(("repro.exec.cache",))
+        a = cell_fingerprint("lebench", ("fence",),
+                            {"scheme": "fence", "rare_every": 12}, code)
+        b = cell_fingerprint("lebench", ("fence",),
+                            {"rare_every": 12, "scheme": "fence"}, code)
+        assert a == b  # dict key order is irrelevant
+        assert a != cell_fingerprint("lebench", ("fence",),
+                                     {"scheme": "fence", "rare_every": 13},
+                                     code)
+        assert a != cell_fingerprint("apps", ("fence",),
+                                     {"scheme": "fence", "rare_every": 12},
+                                     code)
+
+    def test_edit_inside_closure_changes_fingerprint(self, monkeypatch):
+        roots = ("repro.eval.runner",)
+        original = fp_mod._module_source
+
+        def edited(target):
+            def src(module):
+                data = original(module)
+                if module == target and data is not None:
+                    return data + b"\n# edited\n"
+                return data
+            return src
+
+        def fingerprint_with(source_fn):
+            monkeypatch.setattr(fp_mod, "_module_source", source_fn)
+            fp_mod.clear_caches()
+            try:
+                return code_fingerprint(import_closure(roots))
+            finally:
+                fp_mod.clear_caches()
+
+        baseline = fingerprint_with(original)
+        inside = fingerprint_with(edited("repro.cpu.pipeline"))
+        outside = fingerprint_with(edited("repro.reliability.campaign"))
+        monkeypatch.setattr(fp_mod, "_module_source", original)
+        fp_mod.clear_caches()
+        assert inside != baseline  # touched module is in the closure
+        assert outside == baseline  # unrelated edit replays from cache
+
+
+# ---------------------------------------------------------------------------
+# Result cache
+# ---------------------------------------------------------------------------
+
+
+class TestResultCache:
+    def test_round_trip_and_stats(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        fp = "ab" + "0" * 62
+        assert cache.get(fp) is None
+        record = {"experiment": "x", "key": ["k"], "params": {"a": 1},
+                  "payload": {"v": 1.5}}
+        cache.put(fp, record)
+        assert cache.get(fp) == record
+        assert (cache.stats.hits, cache.stats.misses,
+                cache.stats.stores) == (1, 1, 1)
+        assert cache.entries() == [tmp_path / "ab" / f"{fp}.json"]
+
+    def test_corrupt_record_is_a_miss(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        fp = "cd" + "1" * 62
+        cache.put(fp, {"payload": 1})
+        cache._path(fp).write_text("{truncated", encoding="utf-8")
+        assert cache.get(fp) is None
+        cache._path(fp).write_text('{"no_payload": 1}', encoding="utf-8")
+        assert cache.get(fp) is None
+
+    def test_wipe(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        for i in range(3):
+            cache.put(f"{i:02d}" + "2" * 62, {"payload": i})
+        assert cache.wipe() == 3
+        assert cache.entries() == []
+
+    def test_counters_exported_through_obs(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        reg = MetricsRegistry()
+        with observing(reg):
+            cache.get("ef" + "3" * 62)
+            cache.put("ef" + "3" * 62, {"payload": 1})
+            cache.get("ef" + "3" * 62)
+        snap = reg.snapshot()["counters"]
+        assert snap["exec.cache.misses"] == 1
+        assert snap["exec.cache.stores"] == 1
+        assert snap["exec.cache.hits"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Engine: parity, caching, invalidation
+# ---------------------------------------------------------------------------
+
+
+SMALL = {
+    "lebench": ({"schemes": ["unsafe", "fence"]},
+                dict(schemes=("unsafe", "fence"))),
+    "surface": ({"apps": ["lebench", "httpd"]},
+                dict(apps=("lebench", "httpd"))),
+}
+
+
+class TestEngineParity:
+    def test_lebench_parallel_matches_serial(self, tmp_path):
+        par, report = engine(tmp_path, workers=2).run(
+            "lebench", SMALL["lebench"][0])
+        ser = runner.run_lebench_experiment(**SMALL["lebench"][1])
+        assert canon(serde.lebench_to_payload(par)) == \
+            canon(serde.lebench_to_payload(ser))
+        assert (report.cells_total, report.executed) == (2, 2)
+        assert report.cache_misses == 2 and report.cache_hits == 0
+
+    def test_surface_parallel_matches_serial(self, tmp_path):
+        par, _ = engine(tmp_path, workers=2).run(
+            "surface", SMALL["surface"][0])
+        ser = runner.run_surface_experiment(**SMALL["surface"][1])
+        assert canon(serde.surface_to_payload(par)) == \
+            canon(serde.surface_to_payload(ser))
+
+    def test_breakdown_with_metrics_matches_serial(self, tmp_path):
+        params = {"workloads": ["lebench"], "schemes": ["perspective"],
+                  "requests": 12, "observe": True}
+        par, _ = engine(tmp_path, workers=2).run("breakdown", params)
+        ser = runner.run_breakdown_experiment(
+            workloads=("lebench",), schemes=("perspective",),
+            requests=12, observe=True)
+        assert canon(serde.breakdown_to_payload(par)) == \
+            canon(serde.breakdown_to_payload(ser))
+        assert canon(par.metrics) == canon(ser.metrics)
+
+    def test_normalize_prepends_unsafe(self, tmp_path):
+        result, report = engine(tmp_path).run(
+            "lebench", {"schemes": ["fence"]})
+        assert result.schemes == ("unsafe", "fence")
+        assert report.cells_total == 2
+
+    def test_warm_cache_replay_is_identical(self, tmp_path):
+        eng = engine(tmp_path, workers=2)
+        cold, report_cold = eng.run("lebench", SMALL["lebench"][0])
+        warm, report_warm = eng.run("lebench", SMALL["lebench"][0])
+        assert canon(serde.lebench_to_payload(cold)) == \
+            canon(serde.lebench_to_payload(warm))
+        assert report_cold.cache_hits == 0 and report_cold.executed == 2
+        assert report_warm.cache_hits == 2 and report_warm.executed == 0
+
+    def test_no_cache_mode_stores_nothing(self, tmp_path):
+        eng = engine(tmp_path, use_cache=False)
+        _, report = eng.run("surface", {"apps": ["lebench"]})
+        assert report.executed == 1 and report.stored == 0
+        assert eng.cache.entries() == []
+
+    def test_code_edit_invalidates_cache(self, tmp_path, monkeypatch):
+        eng = engine(tmp_path)
+        eng.run("surface", {"apps": ["lebench"]})
+        original = fp_mod._module_source
+
+        def apply_edit(target):
+            def src(module):
+                data = original(module)
+                if module == target and data is not None:
+                    return data + b"\n# edited\n"
+                return data
+            monkeypatch.setattr(fp_mod, "_module_source", src)
+            fp_mod.clear_caches()
+
+        try:
+            # An edit outside the closure replays from cache...
+            apply_edit("repro.reliability.campaign")
+            _, report = eng.run("surface", {"apps": ["lebench"]})
+            assert report.cache_hits == 1 and report.executed == 0
+            # ...an edit inside it re-executes the cell.
+            apply_edit("repro.kernel.kernel")
+            _, report = eng.run("surface", {"apps": ["lebench"]})
+            assert report.cache_hits == 0 and report.executed == 1
+        finally:
+            monkeypatch.setattr(fp_mod, "_module_source", original)
+            fp_mod.clear_caches()
+
+    def test_engine_exports_cell_counters(self, tmp_path):
+        reg = MetricsRegistry()
+        with observing(reg):
+            engine(tmp_path).run("surface", {"apps": ["lebench"]})
+        counters = reg.snapshot()["counters"]
+        assert counters["exec.cells.total"] == 1
+        assert counters["exec.cells.executed"] == 1
+        assert counters["exec.cache.misses"] == 1
+
+    def test_unknown_experiment_rejected(self, tmp_path):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            engine(tmp_path).run("nonesuch")
+
+
+@pytest.mark.slow
+class TestFullGridParity:
+    """Full-scale serial-vs-parallel byte parity for every ported grid.
+
+    Expensive; excluded from the default run (see pyproject addopts) and
+    exercised by the parallel-eval CI job via ``-m slow``.
+    """
+
+    def test_lebench_full(self, tmp_path):
+        par, _ = engine(tmp_path, workers=4).run("lebench")
+        ser = runner.run_lebench_experiment()
+        assert canon(serde.lebench_to_payload(par)) == \
+            canon(serde.lebench_to_payload(ser))
+
+    def test_apps_full(self, tmp_path):
+        par, _ = engine(tmp_path, workers=4).run("apps", {"requests": 16})
+        ser = runner.run_apps_experiment(requests=16)
+        assert canon(serde.apps_to_payload(par)) == \
+            canon(serde.apps_to_payload(ser))
+
+    def test_breakdown_full(self, tmp_path):
+        par, _ = engine(tmp_path, workers=4).run(
+            "breakdown", {"requests": 16, "observe": True})
+        ser = runner.run_breakdown_experiment(requests=16, observe=True)
+        assert canon(serde.breakdown_to_payload(par)) == \
+            canon(serde.breakdown_to_payload(ser))
+        assert canon(par.metrics) == canon(ser.metrics)
+
+    def test_surface_full(self, tmp_path):
+        par, _ = engine(tmp_path, workers=4).run("surface")
+        ser = runner.run_surface_experiment()
+        assert canon(serde.surface_to_payload(par)) == \
+            canon(serde.surface_to_payload(ser))
+
+    def test_sweeps_full(self, tmp_path):
+        eng = engine(tmp_path, workers=4)
+        par_b, _ = eng.run("sweep-branch")
+        ser_b = sweeps.sweep_branch_resolve_latency()
+        assert par_b.overhead_pct == ser_b.overhead_pct
+        par_r, _ = eng.run("sweep-rob")
+        ser_r = sweeps.sweep_rob_entries()
+        assert par_r.overhead_pct == ser_r.overhead_pct
+
+    def test_sensitivity_full(self, tmp_path):
+        eng = engine(tmp_path, workers=4)
+        par_u, _ = eng.run("unknown-allocations")
+        ser_u = sensitivity.run_unknown_allocations()
+        assert dataclasses.asdict(par_u) == dataclasses.asdict(ser_u)
+        par_s, _ = eng.run("slab-sensitivity")
+        ser_s = sensitivity.run_slab_sensitivity()
+        assert canon(dataclasses.asdict(par_s)) == \
+            canon(dataclasses.asdict(ser_s))
+
+
+# ---------------------------------------------------------------------------
+# Subprocess transport
+# ---------------------------------------------------------------------------
+
+
+def _echo_worker(value, conn):
+    conn.send({"ok": True, "value": value})
+    conn.close()
+
+
+def _crash_worker(conn):
+    os._exit(3)
+
+
+def _hang_worker(conn):
+    time.sleep(30.0)
+
+
+class TestRunInSubprocess:
+    def test_message_round_trip(self):
+        res = run_in_subprocess(_echo_worker, (41,), timeout_s=30.0)
+        assert res.message == {"ok": True, "value": 41}
+        assert res.exitcode == 0 and not res.timed_out
+
+    def test_crash_reports_exit_code(self):
+        res = run_in_subprocess(_crash_worker, (), timeout_s=30.0)
+        assert res.message is None and res.exitcode == 3
+        assert not res.timed_out
+
+    def test_timeout_terminates_worker(self):
+        res = run_in_subprocess(_hang_worker, (), timeout_s=0.2)
+        assert res.message is None and res.timed_out
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert exec_main(["--list"]) == 0
+        listed = capsys.readouterr().out.split()
+        assert listed == grid_names()
+        assert "lebench" in listed
+
+    def test_run_and_warm_cache_summary(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert exec_main(["surface", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "surface:" in out and "0 hit" in out
+        assert exec_main(["surface", "--cache-dir", cache,
+                          "--json"]) == 0
+        out = capsys.readouterr().out
+        assert "0 executed" in out
+        payload = json.loads(out[out.index("{"):out.rindex("}") + 1])
+        assert payload["total_functions"] > 0
+
+    def test_wipe_cache(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        exec_main(["surface", "--cache-dir", cache])
+        capsys.readouterr()
+        assert exec_main(["--wipe-cache", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "wiped" in out
+
+    def test_unknown_experiment_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            exec_main(["nonesuch", "--cache-dir",
+                       str(tmp_path / "cache")])
+
+    def test_grid_registry_consistency(self):
+        for name in grid_names():
+            grid = get_grid(name)
+            assert grid.name == name
+            assert grid.entry_modules
