@@ -68,6 +68,21 @@ class MainMemory:
     def __len__(self) -> int:
         return len(self._data)
 
+    def digest(self) -> str:
+        """SHA-256 over the written locations, in address order.
+
+        The architectural-memory fingerprint for differential conformance
+        checks: two runs agree iff every store landed at the same address
+        with the same value (unwritten locations are a pure function of
+        their address, so they cannot diverge).
+        """
+        import hashlib
+        h = hashlib.sha256()
+        for paddr in sorted(self._data):
+            h.update(paddr.to_bytes(8, "little"))
+            h.update(self._data[paddr].to_bytes(8, "little"))
+        return h.hexdigest()
+
     def metrics(self):
         """(name, value) pairs for the observability collectors."""
         yield "memory.touched_locations", len(self._data)

@@ -110,6 +110,42 @@ _PERSPECTIVE_FLAVORS = {
 }
 
 
+def perspective_flavor(scheme: str) -> str | None:
+    """ISV flavor for a Perspective scheme name, else ``None``."""
+    return _PERSPECTIVE_FLAVORS.get(scheme)
+
+
+def build_policy(scheme: str,
+                 framework: Perspective | None = None) -> SpeculationPolicy:
+    """Construct the enforcement policy for a scheme name.
+
+    Perspective flavors require the ``framework`` the views live in;
+    every other scheme ignores it.  Shared by :func:`make_env` and the
+    multi-tenant engine (:mod:`repro.serve.engine`), so the scheme
+    vocabulary cannot drift between the two.
+    """
+    if scheme in _PERSPECTIVE_FLAVORS:
+        if framework is None:
+            raise ValueError(f"scheme {scheme!r} needs a Perspective "
+                             f"framework")
+        return PerspectivePolicy(framework)
+    if scheme == "unsafe":
+        return UnsafePolicy()
+    if scheme == "fence":
+        return FencePolicy()
+    if scheme == "dom":
+        return DelayOnMissPolicy()
+    if scheme == "stt":
+        return STTPolicy()
+    if scheme == "invisispec":
+        return InvisiSpecPolicy()
+    if scheme == "spot":
+        return SpotMitigationPolicy(kpti=True, retpoline=True)
+    if scheme == "spot-nokpti":
+        return SpotMitigationPolicy(kpti=False, retpoline=True)
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
 def make_env(workload_name: str, scheme: str, *,
              image: "KernelImage | None" = None) -> PerfEnv:
     """Boot a kernel, create the workload process, arm the scheme.
@@ -134,25 +170,10 @@ def make_env(workload_name: str, scheme: str, *,
             _profile_functions(kernel, proc, workload_name)  # parity only
         framework = Perspective(kernel)
         framework.install_isv(isv)
-        policy: SpeculationPolicy = PerspectivePolicy(framework)
+        policy: SpeculationPolicy = build_policy(scheme, framework)
     else:
         _profile_functions(kernel, proc, workload_name)  # history parity
-        if scheme == "unsafe":
-            policy = UnsafePolicy()
-        elif scheme == "fence":
-            policy = FencePolicy()
-        elif scheme == "dom":
-            policy = DelayOnMissPolicy()
-        elif scheme == "stt":
-            policy = STTPolicy()
-        elif scheme == "invisispec":
-            policy = InvisiSpecPolicy()
-        elif scheme == "spot":
-            policy = SpotMitigationPolicy(kpti=True, retpoline=True)
-        elif scheme == "spot-nokpti":
-            policy = SpotMitigationPolicy(kpti=False, retpoline=True)
-        else:
-            raise ValueError(f"unknown scheme {scheme!r}")
+        policy = build_policy(scheme)
     kernel.pipeline.set_policy(policy)
     return PerfEnv(workload_name=workload_name, scheme=scheme,
                    kernel=kernel, proc=proc, policy=policy,

@@ -312,6 +312,51 @@ def _slab_assemble(params: dict[str, Any], payloads: dict[Key, Any],
 
 
 # ---------------------------------------------------------------------------
+# Multi-tenant serving (repro.serve)
+# ---------------------------------------------------------------------------
+
+
+def _serve_cells(params: dict[str, Any]) -> CellList:
+    config_keys = ("scheme", "requests_per_tenant", "mean_interarrival",
+                   "queue_bound", "profiles", "rare_every",
+                   "profile_requests")
+    base = {k: params[k] for k in config_keys if k in params}
+    return [((str(seed), str(tenants)),
+             {**base, "seed": seed, "tenants": tenants,
+              "observe": params["observe"]})
+            for seed in params["seeds"]
+            for tenants in params["tenants"]]
+
+
+def _serve_run(key: Key, cp: dict[str, Any]) -> Any:
+    from repro.serve.engine import serve_cell
+    return serve_cell(cp, observe=cp["observe"])
+
+
+def _serve_assemble(params: dict[str, Any],
+                    payloads: dict[Key, Any]) -> dict[str, Any]:
+    """JSON-able sweep summary; per-cell registries merge in declared
+    cell order, so the merged snapshot is worker-count invariant."""
+    cells = []
+    merged = None
+    for seed in params["seeds"]:
+        for tenants in params["tenants"]:
+            cell = dict(payloads[(str(seed), str(tenants))])
+            if params["observe"]:
+                from repro.obs import MetricsRegistry
+                part = MetricsRegistry.from_snapshot(cell.pop("metrics"))
+                if merged is None:
+                    merged = part
+                else:
+                    merged.merge(part)
+            cells.append(cell)
+    out: dict[str, Any] = {"cells": cells}
+    if merged is not None:
+        out["metrics"] = merged.snapshot()
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -399,6 +444,19 @@ _register(Grid(
     cells=_unknown_cells,
     run_cell=_unknown_run,
     assemble=_unknown_assemble,
+))
+
+_register(Grid(
+    name="serve",
+    entry_modules=("repro.serve.engine",),
+    defaults=lambda: {"seeds": [0, 1], "tenants": [2, 3],
+                      "scheme": "perspective", "requests_per_tenant": 6,
+                      "mean_interarrival": 12_000.0, "queue_bound": 0,
+                      "rare_every": RARE_EVERY, "observe": True},
+    normalize=_identity,
+    cells=_serve_cells,
+    run_cell=_serve_run,
+    assemble=_serve_assemble,
 ))
 
 _register(Grid(

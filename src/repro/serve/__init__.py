@@ -1,0 +1,55 @@
+"""Multi-tenant traffic simulation (the "heavy traffic" workload plane).
+
+``repro.serve`` opens the workload dimension the paper evaluates with
+ab/redis-benchmark/memslap (Ch. 7) but at *multi-tenant* pressure, where
+the interesting security/perf trade-off lives: context switches between
+distrusting tenants are exactly where ISV/DSV view switches concentrate.
+
+Three layers:
+
+* :mod:`repro.serve.arrival` -- a seeded open-loop arrival process; a
+  pure function of ``(seed, config)``, so schedules are byte-identical
+  regardless of process, worker count, or hash seed;
+* :mod:`repro.serve.engine` -- the deterministic traffic engine: tenants
+  are cgroup-backed kernel processes sharing one simulated core; a
+  run-to-completion scheduler charges real context-switch and view-switch
+  costs through the existing pipeline and driver; an admission-control
+  bound sheds load deterministically;
+* :mod:`repro.serve.conformance` -- the cross-scheme differential
+  oracle: every defense scheme must produce identical *architectural*
+  results on a seeded syscall corpus, differing only in cycle counts.
+"""
+
+from repro.serve.arrival import Arrival, arrival_schedule, percentile
+from repro.serve.conformance import (
+    CONFORMANCE_SCHEMES,
+    ConformanceResult,
+    check_seed,
+    generate_trace,
+    minimize_divergence,
+    run_corpus,
+)
+from repro.serve.engine import (
+    ServeConfig,
+    ServeReport,
+    TenantReport,
+    run_serve,
+    serve_cell,
+)
+
+__all__ = [
+    "Arrival",
+    "arrival_schedule",
+    "percentile",
+    "ServeConfig",
+    "ServeReport",
+    "TenantReport",
+    "run_serve",
+    "serve_cell",
+    "CONFORMANCE_SCHEMES",
+    "ConformanceResult",
+    "check_seed",
+    "generate_trace",
+    "minimize_divergence",
+    "run_corpus",
+]

@@ -1,0 +1,159 @@
+"""CLI entry point: ``python -m repro.serve``.
+
+Without a subcommand, runs the multi-tenant serving sweep (seeds x
+tenant counts) through the :mod:`repro.exec` engine and emits the merged
+metrics snapshot.  Everything derives from seeded schedules and simulated
+cycles, so two invocations with the same arguments produce
+**byte-identical** output regardless of ``--workers`` -- the CI smoke
+step runs the sweep twice (1 and 2 workers), byte-compares the files,
+and gates the committed snapshot with ``python -m repro.obs diff``.
+
+Usage::
+
+    python -m repro.serve                  # default sweep, JSON summary
+    python -m repro.serve --smoke          # trimmed CI sweep
+    python -m repro.serve --workers 2      # parallel cells, same bytes
+    python -m repro.serve -o snap.json     # write the metrics snapshot
+
+Conformance subcommand (the architectural oracle)::
+
+    python -m repro.serve conformance --seeds 20     # seeds 0..19
+    python -m repro.serve conformance --seeds 7,9    # exactly these
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Sweep parameter sets: (seeds, tenant counts, requests per tenant).
+DEFAULT_SWEEP = {"seeds": [0, 1, 2], "tenants": [2, 3, 4],
+                 "requests_per_tenant": 10}
+SMOKE_SWEEP = {"seeds": [0, 1], "tenants": [2, 3],
+               "requests_per_tenant": 6}
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    from repro.exec.engine import run_experiment
+    from repro.obs import MetricsRegistry
+
+    params = dict(SMOKE_SWEEP if args.smoke else DEFAULT_SWEEP)
+    params["scheme"] = args.scheme
+    result, report = run_experiment(
+        "serve", params, workers=args.workers,
+        use_cache=not args.no_cache)
+    print(report.summary(), file=sys.stderr)
+
+    registry = MetricsRegistry.from_snapshot(result["metrics"])
+    registry.meta.update({
+        "plane": "repro.serve",
+        "sweep": "smoke" if args.smoke else "default",
+        "scheme": args.scheme,
+        "seeds": params["seeds"], "tenants": params["tenants"],
+        "requests_per_tenant": params["requests_per_tenant"],
+    })
+    rendered_json = registry.to_json(indent=1) + "\n"
+    if args.json:
+        print(rendered_json, end="")
+    else:
+        for cell in result["cells"]:
+            cfg = cell["config"]
+            print(f"seed={cfg['seed']} tenants={cfg['tenants']} "
+                  f"scheme={cfg['scheme']}: "
+                  f"completed={cell['completed']} shed={cell['shed']} "
+                  f"p50={cell['latency_p50']:.0f} "
+                  f"p99={cell['latency_p99']:.0f} "
+                  f"rps={cell['throughput_rps']:.0f}")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered_json)
+        print(f"snapshot written to {args.out}", file=sys.stderr)
+    return 0
+
+
+def _parse_seeds(spec: str) -> list[int]:
+    """``"20"`` -> seeds 0..19; ``"3,7,11"`` -> exactly those."""
+    if "," in spec:
+        return [int(s) for s in spec.split(",") if s]
+    return list(range(int(spec)))
+
+
+def _conformance_command(args: argparse.Namespace) -> int:
+    from repro.serve.conformance import CONFORMANCE_SCHEMES, run_corpus
+
+    seeds = _parse_seeds(args.seeds)
+    schemes = tuple(args.schemes.split(",")) if args.schemes \
+        else CONFORMANCE_SCHEMES
+    results = run_corpus(seeds, schemes=schemes, steps=args.steps,
+                         minimize=not args.no_minimize)
+    divergent = [r for r in results if not r.ok]
+    for r in results:
+        cycles = {s: round(d["cycles"]) for s, d in r.digests.items()}
+        status = "ok" if r.ok else "DIVERGENT"
+        print(f"seed {r.seed}: {status}  cycles={json.dumps(cycles)}")
+    if divergent:
+        for r in divergent:
+            print()
+            print(r.repro())
+        print(f"\n{len(divergent)}/{len(results)} seeds diverged",
+              file=sys.stderr)
+        return 1
+    print(f"all {len(results)} seeds architecturally conformant across "
+          f"{len(schemes)} schemes")
+    return 0
+
+
+def _subcommand_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="multi-tenant traffic simulator and conformance oracle")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    conf = sub.add_parser(
+        "conformance",
+        help="differential conformance: every scheme must agree on "
+             "architectural results (exit 1 on divergence)")
+    conf.add_argument("--seeds", default="20",
+                      help="N for seeds 0..N-1, or a comma list (default: "
+                           "20)")
+    conf.add_argument("--steps", type=int, default=14,
+                      help="syscalls per generated trace")
+    conf.add_argument("--schemes", default="",
+                      help="comma list (default: the conformance set)")
+    conf.add_argument("--no-minimize", action="store_true",
+                      help="skip trace minimization on divergence")
+    return parser
+
+
+_COMMANDS = {"conformance": _conformance_command}
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] in _COMMANDS:
+        args = _subcommand_parser().parse_args(argv)
+        return _COMMANDS[args.command](args)
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="run the multi-tenant serving sweep and emit the "
+                    "metrics snapshot (subcommands: conformance)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="trimmed CI sweep (2 seeds x 2 tenant counts)")
+    parser.add_argument("--scheme", default="perspective",
+                        help="defense scheme to serve under")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="parallel cell workers (same bytes either way)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the repro.exec result cache")
+    parser.add_argument("--json", action="store_true",
+                        help="print the JSON snapshot instead of the "
+                             "per-cell summary lines")
+    parser.add_argument("-o", "--out", metavar="FILE",
+                        help="write the JSON metrics snapshot to FILE")
+    args = parser.parse_args(argv)
+    return _run_sweep(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Seeded open-loop arrival process and quantile helpers.
+
+The arrival schedule is a **pure function** of ``(seed, tenants,
+requests_per_tenant, mean_interarrival)``:
+
+* each tenant draws its interarrival gaps from its own
+  ``random.Random`` seeded with a *string* key (string seeding hashes
+  through SHA-512, so schedules do not depend on ``PYTHONHASHSEED`` or
+  the process that generates them);
+* the merged schedule is sorted by ``(cycle, tenant, seq)``, so it is
+  independent of tenant iteration order and of how many
+  :mod:`repro.exec` workers later fan the sweep out.
+
+Open-loop means arrivals never wait for the server (the paper's client
+tools -- ab, memslap, redis-benchmark -- are closed-loop, but open-loop
+is the standard stress model for tail-latency work: queues grow when the
+server falls behind instead of silently throttling the offered load).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from random import Random
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One offered request: when, from whom, and its per-tenant index."""
+
+    cycle: float
+    tenant: int
+    seq: int
+
+
+def tenant_rng(seed: int, tenant: int) -> Random:
+    """The tenant's private arrival RNG (string-seeded: hash-seed proof)."""
+    return Random(f"serve:arrival:{seed}:tenant:{tenant}")
+
+
+def tenant_arrivals(seed: int, tenant: int, requests: int,
+                    mean_interarrival: float) -> list[Arrival]:
+    """One tenant's arrival times: exponential gaps, accumulated."""
+    if mean_interarrival <= 0:
+        raise ValueError("mean_interarrival must be positive")
+    rng = tenant_rng(seed, tenant)
+    cycle = 0.0
+    out: list[Arrival] = []
+    for seq in range(requests):
+        # Inline inverse-CDF sampling (rather than rng.expovariate) so
+        # the schedule depends only on rng.random()'s documented stream.
+        cycle += -mean_interarrival * math.log(1.0 - rng.random())
+        out.append(Arrival(cycle=cycle, tenant=tenant, seq=seq))
+    return out
+
+
+def arrival_schedule(seed: int, tenants: int, requests_per_tenant: int,
+                     mean_interarrival: float) -> list[Arrival]:
+    """The merged multi-tenant schedule, in deterministic service order."""
+    merged: list[Arrival] = []
+    for tenant in range(tenants):
+        merged.extend(tenant_arrivals(seed, tenant, requests_per_tenant,
+                                      mean_interarrival))
+    merged.sort(key=lambda a: (a.cycle, a.tenant, a.seq))
+    return merged
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of ``values``.
+
+    The conventional definition: the smallest element such that at least
+    ``q`` percent of the data is <= it.  ``q=0`` is the minimum,
+    ``q=100`` the maximum.  Raises on an empty sample -- a percentile of
+    nothing is a bug upstream, not a zero.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q={q!r} outside [0, 100]")
+    ordered = sorted(values)
+    # max(1, ...) also covers q=0 and subnormal q where q/100 underflows
+    # to 0.0 -- rank 0 would wrap to ordered[-1], the maximum.
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]

@@ -1,0 +1,385 @@
+"""Cross-scheme differential conformance: the architectural oracle.
+
+Every defense scheme gates *speculative* execution only, so running the
+same syscall trace under every scheme must produce identical
+**architectural** results -- return values, denied flags, final memory
+contents, allocator and fd/vma state, and the planted secret still
+intact -- differing only in cycle counts and speculation statistics.
+Any divergence means a defense changed semantics (or the baseline
+leaked), which is exactly the class of bug a speculation framework must
+never have.
+
+The corpus is seeded: :func:`generate_trace` derives a multi-tenant
+syscall trace from ``Random(f"conformance:{seed}")`` (string-seeded, so
+``PYTHONHASHSEED``-proof), with fd/VA arguments kept *symbolic* in the
+trace and resolved against live kernel state at run time -- the same
+resolution under every scheme, because resolution depends only on
+syscall semantics.  On divergence, :func:`minimize_divergence` greedily
+shrinks the trace to a minimal still-diverging repro and the result
+renders a copy-pasteable reproduction command.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from random import Random
+from typing import Any
+
+from repro.core.framework import Perspective
+from repro.core.views import InstructionSpeculationView
+from repro.eval.envs import build_policy, perspective_flavor
+from repro.kernel.image import shared_image
+from repro.kernel.kernel import MiniKernel
+from repro.workloads.driver import Driver
+
+#: Schemes the oracle holds to identical architectural behaviour.  One
+#: hardware-only scheme (invisispec), the deployed-software point (spot),
+#: both fencing extremes, and both main Perspective flavors.
+CONFORMANCE_SCHEMES = ("unsafe", "fence", "perspective", "perspective++",
+                      "spot", "invisispec")
+
+#: Rare-path injection period during conformance runs: exercises the
+#: paths dynamic ISVs fence, identically under every scheme.
+RARE_EVERY = 5
+
+SECRET = b"CONFORMANCE-SECRET"
+
+
+# ---------------------------------------------------------------------------
+# Trace generation
+# ---------------------------------------------------------------------------
+
+#: Steps that need no live resource.  (name, argmaker, spin)
+_NEUTRAL_OPS = (
+    ("getpid", lambda rng: (), 0),
+    ("getuid", lambda rng: (), 0),
+    ("stat", lambda rng: (rng.randrange(4),), 0),
+    ("access", lambda rng: (rng.randrange(4),), 0),
+    ("futex", lambda rng: (0,), 8),
+    ("poll", lambda rng: (rng.randrange(1, 16),), 8),
+    ("select", lambda rng: (rng.randrange(1, 16),), 8),
+    ("epoll_wait", lambda rng: (rng.randrange(1, 16),), 8),
+    ("sendmsg", lambda rng: (0, rng.randrange(1, 4) * 1024), 4),
+    ("recvmsg", lambda rng: (0, rng.randrange(1, 4) * 1024), 4),
+    ("brk", lambda rng: (), 0),
+)
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One syscall of a conformance trace.
+
+    ``args`` may contain symbolic tokens: ``["fd", k]`` resolves to the
+    tenant's ``k``-th live file descriptor at run time (``["va", k]``
+    likewise for mmapped areas); plain ints pass through.  Tokens are
+    lists, not tuples, so a step round-trips through JSON unchanged.
+    """
+
+    tenant: int
+    syscall: str
+    args: tuple[Any, ...] = ()
+    spin: int = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"tenant": self.tenant, "syscall": self.syscall,
+                "args": [list(a) if isinstance(a, (tuple, list)) else a
+                         for a in self.args],
+                "spin": self.spin}
+
+
+def generate_trace(seed: int, steps: int = 14,
+                   tenants: int = 2) -> list[TraceStep]:
+    """A seeded multi-tenant trace mixing resource producers, consumers,
+    and neutral syscalls; consumers are only emitted when a producer ran
+    earlier, so every reference resolves to a live resource."""
+    rng = Random(f"conformance:{seed}")
+    n_fds = [0] * tenants
+    n_vas = [0] * tenants
+    out: list[TraceStep] = []
+    for _ in range(steps):
+        tenant = rng.randrange(tenants)
+        roll = rng.random()
+        if roll < 0.30:  # producers
+            name = rng.choice(("open", "socket", "pipe", "mmap"))
+            if name == "mmap":
+                out.append(TraceStep(tenant, "mmap",
+                                     (0, rng.randrange(1, 5) * 4096)))
+                n_vas[tenant] += 1
+            else:
+                out.append(TraceStep(tenant, name, (rng.randrange(4),)))
+                n_fds[tenant] += 2 if name == "pipe" else 1
+        elif roll < 0.60 and (n_fds[tenant] or n_vas[tenant]):  # consumers
+            use_fd = n_fds[tenant] and (not n_vas[tenant] or rng.random() < 0.7)
+            if use_fd:
+                token = ("fd", rng.randrange(n_fds[tenant]))
+                name = rng.choice(("read", "write", "lseek", "fstat",
+                                   "dup", "close"))
+                spin = 8 if name in ("read", "write") else 0
+                args = (token, 4096) if name in ("read", "write") \
+                    else (token,)
+                out.append(TraceStep(tenant, name, args, spin))
+                if name == "close":
+                    n_fds[tenant] -= 1
+                elif name == "dup":
+                    n_fds[tenant] += 1
+            else:
+                token = ("va", rng.randrange(n_vas[tenant]))
+                out.append(TraceStep(tenant, "munmap", (token,)))
+                n_vas[tenant] -= 1
+        else:  # neutral
+            name, argmaker, spin = _NEUTRAL_OPS[
+                rng.randrange(len(_NEUTRAL_OPS))]
+            out.append(TraceStep(tenant, name, argmaker(rng), spin))
+    return out
+
+
+def steps_from_dicts(raw: list[dict[str, Any]]) -> list[TraceStep]:
+    """Rebuild a trace from ``as_dict`` output (the minimized-repro path)."""
+    return [TraceStep(tenant=d["tenant"], syscall=d["syscall"],
+                      args=tuple(tuple(a) if isinstance(a, list) else a
+                                 for a in d["args"]),
+                      spin=d.get("spin", 0))
+            for d in raw]
+
+
+# ---------------------------------------------------------------------------
+# Trace execution and the architectural digest
+# ---------------------------------------------------------------------------
+
+
+def _resolve(token: Any, fds: list[int], vas: list[int]) -> int:
+    if isinstance(token, (tuple, list)):
+        kind, k = token
+        pool = fds if kind == "fd" else vas
+        return pool[k % len(pool)] if pool else 0
+    return token
+
+
+def _profile_trace(trace: list[TraceStep], tenants: int,
+                   image) -> list[frozenset[str]]:
+    """Offline profiling pass on a throwaway kernel: the traced kernel
+    functions per tenant, used to build dynamic ISVs.  Context ids are
+    assigned in creation order, so they line up with every scheme run."""
+    kernel = MiniKernel(image=image)
+    procs = [kernel.create_process(f"conf{t}") for t in range(tenants)]
+    drivers = [Driver(kernel, p, rare_every=0) for p in procs]
+    kernel.tracer.start()
+    _run_trace(kernel, procs, drivers, trace)
+    kernel.tracer.stop()
+    return [kernel.tracer.traced_functions(p.cgroup.cg_id) for p in procs]
+
+
+def _run_trace(kernel, procs, drivers, trace) -> list[dict[str, Any]]:
+    """Issue the trace; returns the per-step architectural outcomes."""
+    fds: list[list[int]] = [[] for _ in procs]
+    vas: list[list[int]] = [[] for _ in procs]
+    outcomes: list[dict[str, Any]] = []
+    for step in trace:
+        t = step.tenant
+        args = tuple(_resolve(a, fds[t], vas[t]) for a in step.args)
+        result = drivers[t].call(step.syscall, args=args, spin=step.spin)
+        rv = result.retval
+        if step.syscall in ("open", "socket", "accept", "dup") and rv >= 0:
+            fds[t].append(rv)
+        elif step.syscall == "pipe" and rv >= 0:
+            fds[t].extend((rv, rv + 1))
+        elif step.syscall == "close" and rv == 0:
+            fds[t].remove(args[0])
+        elif step.syscall == "mmap" and rv > 0:
+            vas[t].append(rv)
+        elif step.syscall == "munmap" and rv == 0:
+            vas[t].remove(args[0])
+        outcomes.append({"syscall": step.syscall, "tenant": t,
+                         "retval": rv, "denied": result.denied})
+    return outcomes
+
+
+def _view_digest(framework: Perspective | None) -> str | None:
+    """Fingerprint of the DSV registry's frame-ownership map (Perspective
+    flavors only; ``None`` elsewhere, excluded from comparison)."""
+    if framework is None:
+        return None
+    owners = sorted(framework.dsv_registry.frame_owners().items())
+    return hashlib.sha256(json.dumps(owners).encode()).hexdigest()
+
+
+def run_trace_under(scheme: str, trace: list[TraceStep], tenants: int = 2,
+                    image=None,
+                    profiles: list[frozenset[str]] | None = None,
+                    ) -> dict[str, Any]:
+    """Run the trace on a fresh kernel under ``scheme``; returns the
+    architectural digest (plus cycle counts, which the oracle ignores)."""
+    image = shared_image() if image is None else image
+    flavor = perspective_flavor(scheme)
+    if flavor is not None and profiles is None:
+        profiles = _profile_trace(trace, tenants, image)
+
+    kernel = MiniKernel(image=image)
+    procs = [kernel.create_process(f"conf{t}") for t in range(tenants)]
+    secret_va = kernel.plant_secret(procs[0], SECRET)
+    framework = None
+    if flavor is not None:
+        framework = Perspective(kernel)
+        for proc, functions in zip(procs, profiles):
+            ctx = proc.cgroup.cg_id
+            isv = InstructionSpeculationView(ctx, functions,
+                                             kernel.image.layout,
+                                             source="dynamic")
+            if flavor == "++":
+                from repro.core.audit import harden_isv
+                from repro.scanner.kasper import scan
+                report = scan(kernel.image, scope=isv.functions)
+                isv = harden_isv(isv, report.functions()).hardened
+            framework.install_isv(isv)
+    kernel.pipeline.set_policy(build_policy(scheme, framework))
+
+    drivers = [Driver(kernel, p, rare_every=RARE_EVERY) for p in procs]
+    outcomes = _run_trace(kernel, procs, drivers, trace)
+
+    secret_pa = procs[0].aspace.translate(secret_va)
+    allocations = sorted(kernel.buddy.allocations())
+    return {
+        # --- architectural (must match across schemes) ---
+        "outcomes": outcomes,
+        "memory": kernel.memory.digest(),
+        "secret_intact":
+            kernel.memory.load_bytes(secret_pa, len(SECRET)) == SECRET,
+        "buddy": {
+            "allocated_frames": kernel.buddy.allocated_frames(),
+            "free_frames": kernel.buddy.free_frames(),
+            "owners": hashlib.sha256(
+                json.dumps(allocations).encode()).hexdigest(),
+        },
+        "tenants": [{
+            "fds": sorted((fd, f.fops_kind)
+                          for fd, f in proc.files.items()),
+            "vmas": sorted((vma.va, vma.length)
+                           for vma in proc.vmas.values()),
+        } for proc in procs],
+        # --- per-flavor (compared among Perspective flavors only) ---
+        "views": _view_digest(framework),
+        # --- microarchitectural (recorded, never compared) ---
+        "cycles": sum(d.stats.kernel_cycles for d in drivers),
+        "fenced_loads": sum(d.stats.exec.total_fenced for d in drivers),
+    }
+
+
+# ---------------------------------------------------------------------------
+# The oracle
+# ---------------------------------------------------------------------------
+
+_ARCH_KEYS = ("outcomes", "memory", "secret_intact", "buddy", "tenants")
+
+
+@dataclass
+class ConformanceResult:
+    """Outcome of checking one seed across all schemes."""
+
+    seed: int
+    schemes: tuple[str, ...]
+    ok: bool
+    #: Architectural keys that diverged, per scheme, vs the first scheme.
+    divergences: dict[str, list[str]] = field(default_factory=dict)
+    digests: dict[str, dict[str, Any]] = field(default_factory=dict)
+    minimized: list[TraceStep] | None = None
+
+    def repro(self) -> str:
+        """A copy-pasteable reproduction recipe for a divergence."""
+        trace = self.minimized
+        lines = [f"# conformance divergence at seed {self.seed}: "
+                 f"{self.divergences}",
+                 f"PYTHONPATH=src python -m repro.serve conformance "
+                 f"--seeds {self.seed}"]
+        if trace is not None:
+            lines.append("# minimized trace "
+                         f"({len(trace)} steps):")
+            for step in trace:
+                lines.append(f"#   {json.dumps(step.as_dict())}")
+        return "\n".join(lines)
+
+
+def _compare(digests: dict[str, dict[str, Any]],
+             schemes: tuple[str, ...]) -> dict[str, list[str]]:
+    """Architectural keys diverging from the first scheme, per scheme.
+    ``views`` is compared only among schemes that have views."""
+    base_scheme = schemes[0]
+    base = digests[base_scheme]
+    divergences: dict[str, list[str]] = {}
+    view_base: str | None = None
+    for scheme in schemes:
+        d = digests[scheme]
+        bad = [key for key in _ARCH_KEYS if d[key] != base[key]]
+        if d["views"] is not None:
+            if view_base is None:
+                view_base = d["views"]
+            elif d["views"] != view_base:
+                bad.append("views")
+        if bad:
+            divergences[scheme] = bad
+    return divergences
+
+
+def check_seed(seed: int, schemes: tuple[str, ...] = CONFORMANCE_SCHEMES,
+               steps: int = 14, tenants: int = 2, image=None,
+               minimize: bool = True) -> ConformanceResult:
+    """Run one seeded trace under every scheme and compare architecture."""
+    image = shared_image() if image is None else image
+    trace = generate_trace(seed, steps=steps, tenants=tenants)
+    result = _check_trace(trace, seed, schemes, tenants, image)
+    if not result.ok and minimize:
+        result.minimized = minimize_divergence(
+            trace, schemes=schemes, tenants=tenants, image=image)
+    return result
+
+
+def _check_trace(trace: list[TraceStep], seed: int,
+                 schemes: tuple[str, ...], tenants: int,
+                 image) -> ConformanceResult:
+    profiles = None
+    if any(perspective_flavor(s) for s in schemes):
+        profiles = _profile_trace(trace, tenants, image)
+    digests = {scheme: run_trace_under(scheme, trace, tenants=tenants,
+                                       image=image, profiles=profiles)
+               for scheme in schemes}
+    divergences = _compare(digests, schemes)
+    return ConformanceResult(seed=seed, schemes=schemes,
+                             ok=not divergences,
+                             divergences=divergences, digests=digests)
+
+
+def minimize_divergence(trace: list[TraceStep],
+                        schemes: tuple[str, ...] = CONFORMANCE_SCHEMES,
+                        tenants: int = 2, image=None) -> list[TraceStep]:
+    """Greedy delta-debugging: drop any step whose removal keeps the
+    divergence alive, until no single removal does.  Symbolic tokens stay
+    valid on any subset (resolution falls back to harmless constants), so
+    every candidate subset is executable."""
+    image = shared_image() if image is None else image
+
+    def diverges(candidate: list[TraceStep]) -> bool:
+        return not _check_trace(candidate, -1, schemes, tenants, image).ok
+
+    current = list(trace)
+    shrunk = True
+    while shrunk and len(current) > 1:
+        shrunk = False
+        for i in range(len(current)):
+            candidate = current[:i] + current[i + 1:]
+            if diverges(candidate):
+                current = candidate
+                shrunk = True
+                break
+    return current
+
+
+def run_corpus(seeds: range | list[int],
+               schemes: tuple[str, ...] = CONFORMANCE_SCHEMES,
+               steps: int = 14, tenants: int = 2,
+               minimize: bool = True) -> list[ConformanceResult]:
+    """Check every seed; divergent results carry a minimized repro."""
+    image = shared_image()
+    return [check_seed(seed, schemes=schemes, steps=steps, tenants=tenants,
+                       image=image, minimize=minimize)
+            for seed in seeds]

@@ -1,0 +1,442 @@
+"""The deterministic multi-tenant traffic engine.
+
+Model
+-----
+
+``tenants`` cgroup-backed processes share one :class:`MiniKernel` (and
+therefore one simulated core, one cache hierarchy, one branch unit, and
+one set of Perspective view caches).  A seeded open-loop arrival process
+(:mod:`repro.serve.arrival`) offers each tenant a stream of requests
+drawn from its request profile -- the existing datacenter application
+models (httpd/nginx/memcached/redis) plus a LEBench-style syscall mix.
+
+A **run-to-completion scheduler** serves the merged arrival stream in
+FIFO order on the single core.  Whenever the served tenant changes, the
+scheduler issues the context-switch path (``sched_yield``) on the
+*incoming* tenant's driver before its request: the switch is thereby
+charged through the real pipeline, so it pays whatever the armed scheme
+makes it pay -- IBPB-style predictor flushes, cold ISV/DSV view-cache
+refills for the incoming ASID, DSVMT walks -- rather than a modeled
+constant.  This is where multi-tenant pressure concentrates view-switch
+costs (the reason single-workload batches under-report them).
+
+**Admission control**: when the waiting queue holds ``queue_bound``
+requests at arrival time, the arrival is shed (deterministically -- the
+schedule and service times are pure functions of the config).  Shed
+requests never consume kernel cycles.
+
+Userspace compute is *not* modeled here: every scheme pays identical
+user cycles per request (defenses gate kernel speculation only), so
+kernel-only figures preserve ordering while keeping the engine fast.
+
+Determinism contract
+--------------------
+
+``run_serve(config)`` is a pure function of its config: same seed, same
+byte-identical report, regardless of process, worker count, or
+``PYTHONHASHSEED``.  The parity tests enforce this through the
+:mod:`repro.exec` ``serve`` grid.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.analysis.binary import APPLICATIONS
+from repro.analysis.static_isv import generate_static_isv
+from repro.core.audit import harden_isv
+from repro.core.framework import Perspective
+from repro.core.views import InstructionSpeculationView
+from repro.eval.envs import RARE_EVERY, build_policy, perspective_flavor
+from repro.kernel.image import shared_image
+from repro.kernel.kernel import MiniKernel
+from repro.kernel.process import Process
+from repro.obs import registry as obs
+from repro.scanner.kasper import scan
+from repro.serve.arrival import Arrival, arrival_schedule, percentile
+from repro.workloads.apps import APP_SPECS, AppState
+from repro.workloads.driver import Driver
+
+#: Simulated core frequency (Table 7.1), for requests-per-second figures.
+CORE_HZ = 2.0e9
+
+#: Fixed latency buckets (simulated cycles) for the repro.obs histograms.
+#: Chosen to bracket an unqueued request (a few thousand cycles of kernel
+#: service) through deep queueing delay under overload.
+LATENCY_BUCKETS: tuple[float, ...] = (
+    1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5, 1e6, 1e7)
+
+
+# ---------------------------------------------------------------------------
+# Request profiles
+# ---------------------------------------------------------------------------
+
+
+def _lebench_setup(driver: Driver, state: AppState) -> None:
+    state.listen_fd = driver.call("socket", args=(0,)).retval
+    state.log_fd = driver.call("open", args=(0,)).retval
+
+
+def _lebench_request(driver: Driver, state: AppState, i: int) -> None:
+    """A LEBench-flavoured mix: core kernel ops instead of socket serving."""
+    driver.call("getpid")
+    driver.call("read", args=(state.log_fd, 4096), spin=12)
+    driver.call("write", args=(state.log_fd, 4096), spin=12)
+    if i % 4 == 0:
+        driver.call("futex", args=(0,), spin=24)
+    if i % 8 == 0:
+        driver.call("poll", args=(16,), spin=16)
+    if i % 12 == 0:
+        va = driver.call("mmap", args=(0, 4 * 4096)).retval
+        driver.call("munmap", args=(va,))
+
+
+@dataclass(frozen=True)
+class RequestProfile:
+    """One tenant's request mix: setup at boot, then a per-request body."""
+
+    name: str
+    setup: Callable[[Driver, AppState], None]
+    request: Callable[[Driver, AppState, int], None]
+
+
+def _app_profile(name: str) -> RequestProfile:
+    spec = APP_SPECS[name]
+    return RequestProfile(name=name, setup=spec.setup, request=spec.request)
+
+
+REQUEST_PROFILES: dict[str, RequestProfile] = {
+    **{name: _app_profile(name) for name in APP_SPECS},
+    "lebench": RequestProfile("lebench", _lebench_setup, _lebench_request),
+}
+
+DEFAULT_PROFILES = ("httpd", "redis", "memcached", "lebench")
+
+
+# ---------------------------------------------------------------------------
+# Configuration and reports
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything the engine's outcome depends on."""
+
+    scheme: str = "perspective"
+    tenants: int = 3
+    seed: int = 0
+    requests_per_tenant: int = 40
+    #: Mean interarrival gap per tenant, in simulated cycles.
+    mean_interarrival: float = 400_000.0
+    #: Max *waiting* (admitted, not yet started) requests; 0 = unbounded.
+    queue_bound: int = 0
+    #: Request-mix assignment, cycled over the tenants.
+    profiles: tuple[str, ...] = DEFAULT_PROFILES
+    rare_every: int = RARE_EVERY
+    #: Requests per tenant during the offline ISV-profiling pass.
+    profile_requests: int = 4
+
+    def profile_of(self, tenant: int) -> str:
+        return self.profiles[tenant % len(self.profiles)]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "scheme": self.scheme, "tenants": self.tenants,
+            "seed": self.seed,
+            "requests_per_tenant": self.requests_per_tenant,
+            "mean_interarrival": self.mean_interarrival,
+            "queue_bound": self.queue_bound,
+            "profiles": list(self.profiles),
+            "rare_every": self.rare_every,
+            "profile_requests": self.profile_requests,
+        }
+
+
+@dataclass
+class TenantReport:
+    """Per-tenant outcome of one engine run."""
+
+    tenant: int
+    profile: str
+    arrivals: int = 0
+    admitted: int = 0
+    shed: int = 0
+    completed: int = 0
+    kernel_cycles: float = 0.0
+    syscalls: int = 0
+    switches: int = 0
+    switch_cycles: float = 0.0
+    fence_stall_cycles: float = 0.0
+    fenced_loads: dict[str, int] = field(default_factory=dict)
+    latencies: list[float] = field(default_factory=list)
+
+    def latency_percentile(self, q: float) -> float:
+        return percentile(self.latencies, q) if self.latencies else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "tenant": self.tenant, "profile": self.profile,
+            "arrivals": self.arrivals, "admitted": self.admitted,
+            "shed": self.shed, "completed": self.completed,
+            "kernel_cycles": self.kernel_cycles,
+            "syscalls": self.syscalls,
+            "switches": self.switches,
+            "switch_cycles": self.switch_cycles,
+            "fence_stall_cycles": self.fence_stall_cycles,
+            "fenced_loads": dict(sorted(self.fenced_loads.items())),
+            "latency_p50": self.latency_percentile(50.0),
+            "latency_p95": self.latency_percentile(95.0),
+            "latency_p99": self.latency_percentile(99.0),
+            "latency_mean": (sum(self.latencies) / len(self.latencies)
+                             if self.latencies else 0.0),
+            "latency_max": max(self.latencies, default=0.0),
+        }
+
+
+@dataclass
+class ServeReport:
+    """Aggregate outcome of one engine run (JSON-stable via as_dict)."""
+
+    config: ServeConfig
+    tenants: list[TenantReport] = field(default_factory=list)
+    makespan_cycles: float = 0.0
+
+    @property
+    def completed(self) -> int:
+        return sum(t.completed for t in self.tenants)
+
+    @property
+    def shed(self) -> int:
+        return sum(t.shed for t in self.tenants)
+
+    @property
+    def all_latencies(self) -> list[float]:
+        merged: list[float] = []
+        for tenant in self.tenants:
+            merged.extend(tenant.latencies)
+        return merged
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.makespan_cycles <= 0.0:
+            return 0.0
+        return self.completed * CORE_HZ / self.makespan_cycles
+
+    def as_dict(self) -> dict[str, Any]:
+        latencies = self.all_latencies
+        return {
+            "config": self.config.as_dict(),
+            "makespan_cycles": self.makespan_cycles,
+            "completed": self.completed,
+            "shed": self.shed,
+            "throughput_rps": self.throughput_rps,
+            "latency_p50": percentile(latencies, 50.0) if latencies else 0.0,
+            "latency_p95": percentile(latencies, 95.0) if latencies else 0.0,
+            "latency_p99": percentile(latencies, 99.0) if latencies else 0.0,
+            "kernel_cycles": sum(t.kernel_cycles for t in self.tenants),
+            "switches": sum(t.switches for t in self.tenants),
+            "switch_cycles": sum(t.switch_cycles for t in self.tenants),
+            "fence_stall_cycles": sum(t.fence_stall_cycles
+                                      for t in self.tenants),
+            "tenants": [t.as_dict() for t in self.tenants],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Environment construction (multi-tenant make_env)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Tenant:
+    """A booted tenant: its process, measurement driver, and state."""
+
+    index: int
+    profile: RequestProfile
+    proc: Process
+    driver: Driver
+    state: AppState
+    counter: int = 0
+
+
+def boot_tenants(config: ServeConfig,
+                 image=None) -> tuple[MiniKernel, list[Tenant]]:
+    """Boot one kernel with ``config.tenants`` cgroup-backed processes,
+    run the offline profiling pass, arm the scheme, and run each
+    tenant's server setup under the armed policy.
+
+    Mirrors :func:`repro.eval.envs.make_env`'s deployment flow, but for
+    N distrusting contexts sharing the machine: every tenant gets its
+    own cgroup (so its own DSV/DSVMT and, for Perspective flavors, its
+    own installed ISV).
+    """
+    kernel = MiniKernel(image=shared_image() if image is None else image)
+    flavor = perspective_flavor(config.scheme)
+    procs: list[tuple[int, Process, RequestProfile]] = []
+    for index in range(config.tenants):
+        profile = REQUEST_PROFILES[config.profile_of(index)]
+        proc = kernel.create_process(f"tenant{index}.{profile.name}")
+        procs.append((index, proc, profile))
+
+    # Offline profiling pass (identical for every scheme: history parity,
+    # exactly as make_env does for single-tenant environments).
+    kernel.tracer.start()
+    for _, proc, profile in procs:
+        driver = Driver(kernel, proc, rare_every=0)
+        state = AppState()
+        profile.setup(driver, state)
+        for i in range(config.profile_requests):
+            profile.request(driver, state, i)
+    kernel.tracer.stop()
+
+    framework = None
+    if flavor is not None:
+        framework = Perspective(kernel)
+        for _, proc, profile in procs:
+            ctx = proc.cgroup.cg_id
+            if flavor == "static":
+                isv: InstructionSpeculationView = generate_static_isv(
+                    kernel.image, APPLICATIONS[profile.name], ctx)
+            else:
+                functions = kernel.tracer.traced_functions(ctx)
+                isv = InstructionSpeculationView(
+                    ctx, functions, kernel.image.layout, source="dynamic")
+                if flavor == "++":
+                    report = scan(kernel.image, scope=isv.functions)
+                    isv = harden_isv(isv, report.functions()).hardened
+            framework.install_isv(isv)
+    kernel.pipeline.set_policy(build_policy(config.scheme, framework))
+
+    tenants: list[Tenant] = []
+    for index, proc, profile in procs:
+        driver = Driver(kernel, proc, rare_every=config.rare_every)
+        state = AppState()
+        profile.setup(driver, state)
+        driver.reset_stats()  # setup is boot, not served traffic
+        tenants.append(Tenant(index=index, profile=profile, proc=proc,
+                              driver=driver, state=state))
+    return kernel, tenants
+
+
+# ---------------------------------------------------------------------------
+# The scheduler
+# ---------------------------------------------------------------------------
+
+
+def run_serve(config: ServeConfig, image=None) -> ServeReport:
+    """Run the full open-loop simulation; returns the per-tenant report."""
+    kernel, tenants = boot_tenants(config, image=image)
+    schedule = arrival_schedule(config.seed, config.tenants,
+                                config.requests_per_tenant,
+                                config.mean_interarrival)
+    reports = [TenantReport(tenant=t.index, profile=t.profile.name)
+               for t in tenants]
+
+    waiting: deque[Arrival] = deque()
+    free_at = 0.0
+    current: int | None = None
+    makespan = 0.0
+
+    def dispatch(arr: Arrival) -> None:
+        nonlocal free_at, current, makespan
+        tenant = tenants[arr.tenant]
+        report = reports[arr.tenant]
+        start = max(free_at, arr.cycle)
+        before_cycles = tenant.driver.stats.kernel_cycles
+        if current != arr.tenant:
+            # Context switch, charged through the real pipeline: the
+            # incoming tenant runs the switch path under the armed
+            # scheme (predictor flush, cold view-cache refills, DSVMT
+            # walks for the new ASID -- whatever the scheme costs).
+            switch = tenant.driver.call("sched_yield")
+            report.switches += 1
+            report.switch_cycles += switch.cycles
+            current = arr.tenant
+            obs.add("serve.switches")
+            obs.observe("serve.switch_cycles", switch.cycles)
+        tenant.profile.request(tenant.driver, tenant.state, tenant.counter)
+        tenant.counter += 1
+        service = tenant.driver.stats.kernel_cycles - before_cycles
+        completion = start + service
+        latency = completion - arr.cycle
+        free_at = completion
+        makespan = completion if completion > makespan else makespan
+        report.completed += 1
+        report.latencies.append(latency)
+        obs.observe("serve.latency_cycles", latency,
+                    buckets=LATENCY_BUCKETS)
+        obs.observe(f"serve.tenant.{arr.tenant}.latency_cycles", latency,
+                    buckets=LATENCY_BUCKETS)
+        obs.add("serve.requests.completed")
+
+    for arr in schedule:
+        # Serve everything that starts no later than this arrival.
+        while waiting and max(free_at, waiting[0].cycle) <= arr.cycle:
+            dispatch(waiting.popleft())
+        reports[arr.tenant].arrivals += 1
+        if config.queue_bound and len(waiting) >= config.queue_bound:
+            reports[arr.tenant].shed += 1
+            obs.add("serve.requests.shed")
+            obs.add(f"serve.tenant.{arr.tenant}.shed")
+            continue
+        reports[arr.tenant].admitted += 1
+        waiting.append(arr)
+    while waiting:
+        dispatch(waiting.popleft())
+
+    for tenant, report in zip(tenants, reports):
+        stats = tenant.driver.stats
+        report.kernel_cycles = stats.kernel_cycles
+        report.syscalls = stats.syscalls
+        report.fence_stall_cycles = stats.exec.fence_stall_cycles
+        report.fenced_loads = dict(sorted(
+            stats.exec.fenced_loads.items()))
+    return ServeReport(config=config, tenants=reports,
+                       makespan_cycles=makespan)
+
+
+# ---------------------------------------------------------------------------
+# Grid cell (the repro.exec fan-out unit)
+# ---------------------------------------------------------------------------
+
+
+def config_from_params(params: dict[str, Any]) -> ServeConfig:
+    """Build a :class:`ServeConfig` from a plain JSON-able param dict."""
+    known = {"scheme", "tenants", "seed", "requests_per_tenant",
+             "mean_interarrival", "queue_bound", "profiles",
+             "rare_every", "profile_requests"}
+    kwargs = {k: v for k, v in params.items() if k in known}
+    if "profiles" in kwargs:
+        kwargs["profiles"] = tuple(kwargs["profiles"])
+    return ServeConfig(**kwargs)
+
+
+def serve_cell(params: dict[str, Any],
+               observe: bool = False) -> dict[str, Any]:
+    """One (seed, tenants) cell of the serve sweep.
+
+    Returns the report as a JSON-able dict; with ``observe=True`` the
+    cell runs inside its own fresh :class:`repro.obs.MetricsRegistry`
+    (the per-cell structure the parallel engine requires) and attaches
+    its snapshot under ``"metrics"``.
+    """
+    config = config_from_params(params)
+    if not observe:
+        return run_serve(config).as_dict()
+    from repro.obs import MetricsRegistry, observing
+    registry = MetricsRegistry()
+    with observing(registry):
+        out = run_serve(config).as_dict()
+        # Summary gauges under a per-cell prefix, so merged cell
+        # registries never collide and the smoke snapshot carries the
+        # report figures the diff gate should watch.
+        cell = f"serve.cell.s{config.seed}.t{config.tenants}"
+        for key in ("completed", "shed", "throughput_rps",
+                    "makespan_cycles", "latency_p50", "latency_p95",
+                    "latency_p99", "switch_cycles",
+                    "fence_stall_cycles"):
+            obs.gauge(f"{cell}.{key}", out[key])
+    out["metrics"] = registry.snapshot()
+    return out

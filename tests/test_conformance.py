@@ -1,0 +1,171 @@
+"""Cross-scheme differential conformance (:mod:`repro.serve.conformance`):
+the ≥20-seed corpus oracle, trace generation invariants, the divergence
+comparator, and the trace minimizer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve import conformance
+from repro.serve.conformance import (
+    CONFORMANCE_SCHEMES,
+    ConformanceResult,
+    TraceStep,
+    check_seed,
+    generate_trace,
+    minimize_divergence,
+    run_corpus,
+    run_trace_under,
+    steps_from_dicts,
+)
+
+
+class TestTraceGeneration:
+    def test_deterministic(self):
+        assert generate_trace(5) == generate_trace(5)
+        assert generate_trace(5) != generate_trace(6)
+
+    def test_requested_length(self):
+        for steps in (1, 7, 30):
+            assert len(generate_trace(0, steps=steps)) == steps
+
+    def test_consumers_always_have_producers(self):
+        # Replaying the symbolic resource accounting over the generated
+        # trace must never find a consumer with an empty pool.
+        for seed in range(40):
+            n_fds = {}
+            n_vas = {}
+            for step in generate_trace(seed, steps=30, tenants=3):
+                t = step.tenant
+                uses_fd = any(isinstance(a, tuple) and a[0] == "fd"
+                              for a in step.args)
+                uses_va = any(isinstance(a, tuple) and a[0] == "va"
+                              for a in step.args)
+                if uses_fd:
+                    assert n_fds.get(t, 0) > 0, (seed, step)
+                if uses_va:
+                    assert n_vas.get(t, 0) > 0, (seed, step)
+                if step.syscall in ("open", "socket", "dup"):
+                    n_fds[t] = n_fds.get(t, 0) + 1
+                elif step.syscall == "pipe":
+                    n_fds[t] = n_fds.get(t, 0) + 2
+                elif step.syscall == "close":
+                    n_fds[t] = n_fds.get(t, 0) - 1
+                elif step.syscall == "mmap":
+                    n_vas[t] = n_vas.get(t, 0) + 1
+                elif step.syscall == "munmap":
+                    n_vas[t] = n_vas.get(t, 0) - 1
+
+    def test_steps_json_round_trip(self):
+        trace = generate_trace(9, steps=20)
+        raw = json.loads(json.dumps([s.as_dict() for s in trace]))
+        assert steps_from_dicts(raw) == trace
+
+    def test_tenants_stay_in_range(self):
+        for step in generate_trace(3, steps=40, tenants=2):
+            assert step.tenant in (0, 1)
+
+
+class TestArchitecturalDigest:
+    def test_unsafe_keeps_secret_architecturally_intact(self, image):
+        trace = generate_trace(0, steps=10)
+        digest = run_trace_under("unsafe", trace, image=image)
+        assert digest["secret_intact"]
+        assert digest["views"] is None
+        assert len(digest["outcomes"]) == 10
+
+    def test_perspective_reports_view_digest(self, image):
+        trace = generate_trace(0, steps=8)
+        digest = run_trace_under("perspective", trace, image=image)
+        assert digest["views"] is not None
+        assert digest["fenced_loads"] > 0
+
+    def test_memory_digest_reflects_stores(self, kernel):
+        before = kernel.memory.digest()
+        kernel.memory.store(0x1234, 0x99)
+        after = kernel.memory.digest()
+        assert before != after
+        assert after == kernel.memory.digest()
+
+
+class TestComparator:
+    def test_detects_architectural_divergence(self):
+        base = {"outcomes": [1], "memory": "aa", "secret_intact": True,
+                "buddy": {"x": 1}, "tenants": [], "views": None}
+        schemes = ("unsafe", "fence")
+        same = conformance._compare(
+            {"unsafe": base, "fence": dict(base)}, schemes)
+        assert same == {}
+        divergent = conformance._compare(
+            {"unsafe": base, "fence": {**base, "memory": "bb",
+                                       "secret_intact": False}},
+            schemes)
+        assert divergent == {"fence": ["memory", "secret_intact"]}
+
+    def test_view_digests_compared_among_flavors_only(self):
+        base = {"outcomes": [], "memory": "aa", "secret_intact": True,
+                "buddy": {}, "tenants": [], "views": None}
+        digests = {"unsafe": dict(base),
+                   "perspective": {**base, "views": "v1"},
+                   "perspective++": {**base, "views": "v2"}}
+        out = conformance._compare(
+            digests, ("unsafe", "perspective", "perspective++"))
+        assert out == {"perspective++": ["views"]}
+
+    def test_repro_recipe_mentions_seed_and_steps(self):
+        result = ConformanceResult(
+            seed=17, schemes=("unsafe", "fence"), ok=False,
+            divergences={"fence": ["memory"]},
+            minimized=[TraceStep(0, "getpid")])
+        recipe = result.repro()
+        assert "seed 17" in recipe
+        assert "--seeds 17" in recipe
+        assert "getpid" in recipe
+
+
+class TestMinimizer:
+    def test_shrinks_to_culprit_step(self, monkeypatch):
+        # Divergence oracle stub: the trace diverges iff it still
+        # contains an mmap step.  The minimizer must strip everything
+        # else without ever producing an unexecutable subset.
+        def fake_check(trace, seed, schemes, tenants, image):
+            diverges = any(s.syscall == "mmap" for s in trace)
+            return ConformanceResult(
+                seed=seed, schemes=schemes, ok=not diverges,
+                divergences={"fence": ["memory"]} if diverges else {})
+        monkeypatch.setattr(conformance, "_check_trace", fake_check)
+        trace = [TraceStep(0, "getpid"), TraceStep(1, "open", (0,)),
+                 TraceStep(0, "mmap", (0, 4096)),
+                 TraceStep(1, "close", (("fd", 0),))]
+        minimized = minimize_divergence(trace, image=object())
+        assert minimized == [TraceStep(0, "mmap", (0, 4096))]
+
+    def test_nondivergent_trace_survives_whole(self, monkeypatch):
+        def fake_check(trace, seed, schemes, tenants, image):
+            return ConformanceResult(seed=seed, schemes=schemes, ok=True)
+        monkeypatch.setattr(conformance, "_check_trace", fake_check)
+        trace = generate_trace(0, steps=5)
+        assert minimize_divergence(trace, image=object()) == trace
+
+
+class TestCorpus:
+    #: The acceptance bar: every scheme agrees architecturally on every
+    #: seeded trace.  Divergence here means a defense changed semantics.
+    def test_twenty_seed_corpus_conformant(self):
+        results = run_corpus(range(20))
+        divergent = [r for r in results if not r.ok]
+        assert not divergent, "\n\n".join(r.repro() for r in divergent)
+        assert len(results) == 20
+        for r in results:
+            assert set(r.digests) == set(CONFORMANCE_SCHEMES)
+            # Cycle counts are *expected* to differ: fence pays more
+            # than unsafe on every trace that speculates at all.
+            assert r.digests["fence"]["cycles"] > \
+                r.digests["unsafe"]["cycles"]
+
+    def test_check_seed_matches_corpus_entry(self, image):
+        single = check_seed(3, image=image)
+        assert single.ok
+        assert single.seed == 3
