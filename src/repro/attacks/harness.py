@@ -146,6 +146,37 @@ def run_attack(attack_name: str, scheme: str = "unsafe",
         return attack.run(scheme_name=scheme)
 
 
+def attack_on(kernel: MiniKernel, attacker, victim, attack_name: str,
+              scheme: str, secret: bytes = b"K3Y!",
+              journal: EventJournal | None = None) -> AttackResult:
+    """Run one PoC through an existing *armed* kernel.
+
+    Where :func:`run_attack` boots a fresh kernel per PoC, this entry
+    point drives the attack through a kernel that is already serving
+    other tenants -- the adversarial-campaign path, where the attacker
+    is a co-located tenant and the policy, view caches, predictors, and
+    memory state are shared with live victim traffic.  The caller owns
+    policy arming; the secret is (re)planted in ``victim``'s kernel heap
+    before the run.
+
+    Passing ``journal`` scopes event recording to this PoC run; leaving
+    it ``None`` keeps whatever journal is already active (the campaign
+    journals the whole timeline, attacks included).
+    """
+    attack_cls = ATTACKS[attack_name]
+    if attack_name in _NEEDS_EIBRS \
+            and not kernel.config.btb_hardware_isolation:
+        raise ValueError(f"{attack_name} needs an eIBRS-configured kernel")
+    secret_va = kernel.plant_secret(victim, secret)
+    setup = AttackSetup(kernel=kernel, attacker=attacker, victim=victim,
+                        secret=secret, secret_va=secret_va)
+    attack = attack_cls(setup)
+    if journal is None:
+        return attack.run(scheme_name=scheme)
+    with journaling(journal):
+        return attack.run(scheme_name=scheme)
+
+
 def run_matrix(attacks: tuple[str, ...] = tuple(ATTACKS),
                schemes: tuple[str, ...] = SCHEMES,
                secret: bytes = b"K3Y!") -> list[MatrixCell]:

@@ -13,10 +13,11 @@ incident-response flow of Section 5.4).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 from repro.core.views import InstructionSpeculationView
-from repro.obs.events import EventJournal
+from repro.obs.events import EventJournal, SecurityEvent
 
 
 @dataclass
@@ -75,3 +76,141 @@ def harden_isv_from_journal(isv: InstructionSpeculationView,
     """
     return harden_isv(isv, forensic_exclusions(journal, kinds=kinds,
                                                min_events=min_events))
+
+
+# ---------------------------------------------------------------------------
+# Adaptive escalation / de-escalation (the campaign's runtime policy)
+# ---------------------------------------------------------------------------
+
+#: The Perspective flavor ladder, least to most restrictive: a static
+#: (analysis-derived) ISV, a dynamic (profiled) ISV, and the
+#: scanner/forensics-hardened ISV++.
+ESCALATION_LADDER: tuple[str, ...] = ("static", "dynamic", "++")
+
+#: Event kinds that count as leak evidence against a context.
+EVIDENCE_KINDS: tuple[str, ...] = ("blocked-leak",)
+
+
+@dataclass(frozen=True)
+class EscalationDecision:
+    """One epoch's verdict for one context."""
+
+    context: int
+    action: str  #: ``escalate`` | ``deescalate`` | ``hold``
+    from_flavor: str
+    to_flavor: str
+    #: Evidence events attributed to the context this epoch.
+    evidence: int
+    #: Kernel functions newly implicated this epoch (sorted).
+    implicated: tuple[str, ...] = ()
+    reason: str = ""
+
+    @property
+    def changed(self) -> bool:
+        return self.from_flavor != self.to_flavor
+
+
+@dataclass
+class AdaptiveIsvController:
+    """Journal-driven Perspective-flavor ladder for one context.
+
+    Escalation (Section 5.4's incident-response flow, made automatic):
+    when an epoch's journal slice attributes ``min_events`` or more
+    evidence events to the context, the controller climbs one rung of
+    :data:`ESCALATION_LADDER` and records the implicated kernel
+    functions as **sticky forensic exclusions** -- they are subtracted
+    from every view the controller emits for the rest of the campaign,
+    at *every* rung.  That stickiness is what makes de-escalation safe:
+    a probe back down to a cheaper flavor can never re-admit a function
+    that hosted a blocked leak, so a previously blocked leak cannot
+    re-open.
+
+    De-escalation is probed, never assumed: after ``probe_after_clean``
+    consecutive clean epochs the controller steps one rung down.  If
+    evidence reappears while probing, it re-escalates immediately and
+    backs off -- the clean-epoch requirement grows by ``backoff_factor``
+    plus seeded jitter (string-seeded :class:`random.Random`, so the
+    schedule is byte-reproducible and ``PYTHONHASHSEED``-proof).
+    """
+
+    context: int
+    start_flavor: str = "static"
+    kinds: tuple[str, ...] = EVIDENCE_KINDS
+    min_events: int = 1
+    #: Clean epochs required before the first de-escalation probe.
+    probe_after_clean: int = 2
+    backoff_factor: int = 2
+    max_probe_wait: int = 16
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.start_flavor not in ESCALATION_LADDER:
+            raise ValueError(
+                f"unknown flavor {self.start_flavor!r}; ladder: "
+                f"{ESCALATION_LADDER}")
+        self.level = ESCALATION_LADDER.index(self.start_flavor)
+        self.exclusions: frozenset[str] = frozenset()
+        self.clean_epochs = 0
+        self.probe_wait = self.probe_after_clean
+        self.probing = False
+        self.history: list[EscalationDecision] = []
+        self._rng = random.Random(
+            f"adaptive:{self.seed}:{self.context}")
+
+    @property
+    def flavor(self) -> str:
+        return ESCALATION_LADDER[self.level]
+
+    def observe(self, events: list[SecurityEvent]) -> EscalationDecision:
+        """Digest one epoch's journal slice; returns the decision.
+
+        Only events of the controller's ``kinds`` attributed to its
+        ``context`` count.  Evidence tallies are order-independent (the
+        slice may arrive in any permutation), so the decision -- and the
+        exclusion set -- is invariant under journal-event reordering.
+        """
+        evidence = [e for e in events
+                    if e.kind in self.kinds and e.context == self.context]
+        implicated = frozenset(e.kernel_fn for e in evidence
+                               if e.kernel_fn)
+        from_flavor = self.flavor
+        if len(evidence) >= self.min_events:
+            self.exclusions |= implicated
+            self.clean_epochs = 0
+            if self.probing:
+                # The de-escalation probe failed: re-escalate and back
+                # off -- the next probe must wait longer (seeded jitter
+                # keeps distinct contexts from probing in lockstep).
+                self.probing = False
+                self.probe_wait = min(
+                    self.max_probe_wait,
+                    self.probe_wait * self.backoff_factor
+                    + self._rng.randrange(2))
+            if self.level < len(ESCALATION_LADDER) - 1:
+                self.level += 1
+                action, reason = "escalate", "leak-evidence"
+            else:
+                action, reason = "hold", "at-ladder-top"
+        else:
+            self.probing = False
+            self.clean_epochs += 1
+            if self.level > 0 and self.clean_epochs >= self.probe_wait:
+                self.level -= 1
+                self.clean_epochs = 0
+                self.probing = True
+                action, reason = "deescalate", "clean-probe"
+            else:
+                action, reason = "hold", "clean"
+        decision = EscalationDecision(
+            context=self.context, action=action,
+            from_flavor=from_flavor, to_flavor=self.flavor,
+            evidence=len(evidence),
+            implicated=tuple(sorted(implicated)), reason=reason)
+        self.history.append(decision)
+        return decision
+
+    def view_functions(self, base_functions: frozenset[str],
+                       ) -> frozenset[str]:
+        """The function set to install for the current flavor: the
+        flavor's base view minus every sticky forensic exclusion."""
+        return frozenset(base_functions) - self.exclusions

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cpu.isa import OP_SIZE
+from repro.obs import events as ev
 from repro.reliability.faultplane import fire
 
 #: Instructions covered by one ISV cache entry (64 B of bitmap = 512 bits).
@@ -39,6 +40,8 @@ class ViewCacheStats:
     injected_misses: int = 0
     #: Fault-injected parity drops: matched entries discarded as stale.
     stale_drops: int = 0
+    #: Fault-injected refill aborts: fills dropped before installing.
+    refill_faults: int = 0
 
     @property
     def accesses(self) -> int:
@@ -52,7 +55,7 @@ class ViewCacheStats:
 
     def reset(self) -> None:
         self.hits = self.misses = self.fills = self.evictions = 0
-        self.injected_misses = self.stale_drops = 0
+        self.injected_misses = self.stale_drops = self.refill_faults = 0
 
     def as_metrics(self, prefix: str):
         """(name, value) pairs for the observability collectors."""
@@ -62,6 +65,7 @@ class ViewCacheStats:
         yield f"{prefix}.evictions", self.evictions
         yield f"{prefix}.injected_misses", self.injected_misses
         yield f"{prefix}.stale_drops", self.stale_drops
+        yield f"{prefix}.refill_faults", self.refill_faults
         yield f"{prefix}.hit_rate", self.hit_rate
 
 
@@ -122,6 +126,16 @@ class ViewCache:
         return None
 
     def fill(self, asid: int, key: int, bit: bool) -> None:
+        if self._miss_fault is not None and fire("view-refill-fault"):
+            # The refill aborted (bitmap-line fetch fault).  The querying
+            # load was already conservatively blocked on the miss, so the
+            # only safe move is to install *nothing*: the next access
+            # re-misses and re-pays the refill rather than ever serving a
+            # possibly-corrupt view bit.
+            self.stats.refill_faults += 1
+            ev.emit_here("fault-fallback",
+                         reason=f"{self.name}-refill-dropped")
+            return
         ways = self._sets[self._set_index(key)]
         tag = (asid, key)
         for i, (entry_tag, _) in enumerate(ways):

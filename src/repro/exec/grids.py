@@ -357,6 +357,53 @@ def _serve_assemble(params: dict[str, Any],
 
 
 # ---------------------------------------------------------------------------
+# Adversarial serving campaign (repro.serve.campaign)
+# ---------------------------------------------------------------------------
+
+
+def _campaign_cells(params: dict[str, Any]) -> CellList:
+    spec_keys = ("start_flavor", "victims", "attackers", "epochs",
+                 "requests_per_epoch", "mean_interarrival", "queue_bound",
+                 "profiles", "rare_every", "profile_requests",
+                 "secret_hex", "min_events", "probe_after_clean",
+                 "slo_factor")
+    base = {k: params[k] for k in spec_keys if k in params}
+    return [((str(seed), scenario),
+             {**base, "seed": seed, "scenario": scenario,
+              "observe": params["observe"]})
+            for seed in params["seeds"]
+            for scenario in params["scenarios"]]
+
+
+def _campaign_run(key: Key, cp: dict[str, Any]) -> Any:
+    from repro.serve.campaign import campaign_cell
+    return campaign_cell(cp, observe=cp["observe"])
+
+
+def _campaign_assemble(params: dict[str, Any],
+                       payloads: dict[Key, Any]) -> dict[str, Any]:
+    """JSON-able campaign summary; per-cell registries merge in declared
+    cell order, so the merged snapshot is worker-count invariant."""
+    cells = []
+    merged = None
+    for seed in params["seeds"]:
+        for scenario in params["scenarios"]:
+            cell = dict(payloads[(str(seed), scenario)])
+            if params["observe"]:
+                from repro.obs import MetricsRegistry
+                part = MetricsRegistry.from_snapshot(cell.pop("metrics"))
+                if merged is None:
+                    merged = part
+                else:
+                    merged.merge(part)
+            cells.append(cell)
+    out: dict[str, Any] = {"cells": cells}
+    if merged is not None:
+        out["metrics"] = merged.snapshot()
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -457,6 +504,19 @@ _register(Grid(
     cells=_serve_cells,
     run_cell=_serve_run,
     assemble=_serve_assemble,
+))
+
+_register(Grid(
+    name="campaign",
+    entry_modules=("repro.serve.campaign",),
+    defaults=lambda: {"seeds": [0, 1],
+                      "scenarios": ["none", "ibpb-storm", "refill-storm",
+                                    "admission-storm"],
+                      "observe": True},
+    normalize=_identity,
+    cells=_campaign_cells,
+    run_cell=_campaign_run,
+    assemble=_campaign_assemble,
 ))
 
 _register(Grid(

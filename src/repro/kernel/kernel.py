@@ -57,6 +57,8 @@ from repro.kernel.process import (
 from repro.kernel.seccomp import Action, SeccompFilter, SeccompViolation
 from repro.kernel.slab import SecureSlabAllocator, SlabAllocator
 from repro.kernel.tracing import KernelTracer
+from repro.obs import events as ev
+from repro.reliability.faultplane import fire
 
 #: Frame holding the global kernel data page ("unknown" memory: it belongs
 #: to no DSV, so speculative access to it is conservatively fenced).
@@ -146,6 +148,13 @@ class MiniKernel:
         self._install_boot_globals()
         self._seccomp: dict[int, SeccompFilter] = {}
         self.syscall_count = 0
+        #: Cumulative simulated kernel cycles across every syscall (trap
+        #: plus pipeline), so co-located activity -- e.g. an attacker
+        #: tenant's PoC probes -- can be charged to a shared serve clock.
+        self.kernel_cycles_total = 0.0
+        #: Tenant-switch IBPB ops that faulted and fell back to a full
+        #: branch-unit flush (the ``serve-ibpb-drop`` fail-closed path).
+        self.ibpb_fault_flushes = 0
 
     # ------------------------------------------------------------------
     # Boot
@@ -281,7 +290,18 @@ class MiniKernel:
         regs = self._regs_for(proc, spec, args, spin, new_page_va)
         ctx_id = proc.cgroup.cg_id
         if ctx_id != self._last_kernel_ctx:
-            if self.pipeline.policy.flush_branch_state_on_context_switch():
+            if fire("serve-ibpb-drop"):
+                # The IBPB microcode op faulted mid-switch.  Fail closed:
+                # a *full* branch-unit flush (conditional + BTB + RSB) is
+                # strictly stronger than the barrier it replaces, so
+                # cross-tenant (mis)training can never survive the fault
+                # -- the incoming tenant just pays colder predictors.
+                self.branch_unit.reset()
+                self.ibpb_fault_flushes += 1
+                ev.emit("fault-fallback", context=ctx_id,
+                        reason="ibpb-drop-full-flush",
+                        scheme=self.pipeline.policy.name)
+            elif self.pipeline.policy.flush_branch_state_on_context_switch():
                 # IBPB on context switch: drop indirect-predictor state so
                 # cross-context (mis)training cannot carry over.
                 self.branch_unit.btb.reset()
@@ -292,8 +312,10 @@ class MiniKernel:
             address_space=proc.aspace, initial_regs=regs)
         exec_result = self.pipeline.run(spec.entry, context,
                                         charge_kernel_entry=True)
-        return SyscallResult(syscall=name, retval=retval,
-                             exec_result=exec_result)
+        result = SyscallResult(syscall=name, retval=retval,
+                               exec_result=exec_result)
+        self.kernel_cycles_total += result.cycles
+        return result
 
     def _regs_for(self, proc: Process, spec, args: tuple[int, ...],
                   spin: int, new_page_va: int) -> dict[str, int]:

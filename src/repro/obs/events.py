@@ -26,6 +26,14 @@ Event kinds emitted by the instrumented modules:
                     ``empty``, or ``fault``)
 ``dsv-assign-drop`` an allocator ownership event was lost (fail-closed)
 ``isv-shrink``      a view was tightened at runtime (Section 5.4)
+``fault-fallback``  an injected serve-plane fault fired and the module
+                    took its fail-closed fallback (``reason`` names it:
+                    ``ibpb-drop-full-flush``, ``isv-refill-dropped``,
+                    ``dsv-refill-dropped``, ``admission-corrupt-shed``)
+``policy-escalate`` the adaptive controller tightened a tenant's
+                    Perspective flavor (``reason``: ``from->to``)
+``policy-deescalate``  a seeded-backoff de-escalation probe relaxed a
+                    tenant's flavor (forensic exclusions stay applied)
 ==================  =======================================================
 
 Activation mirrors :mod:`repro.obs.registry`: instrumented modules call
@@ -58,6 +66,9 @@ EVENT_KINDS = (
     "dsvmt-walk",
     "dsv-assign-drop",
     "isv-shrink",
+    "fault-fallback",
+    "policy-escalate",
+    "policy-deescalate",
 )
 
 DEFAULT_CAPACITY = 65_536

@@ -64,6 +64,30 @@ class ExperimentSpec:
     fast_params: dict[str, Any] = field(default_factory=dict)
 
 
+def _serve_campaign_cell(**params: Any) -> dict[str, Any]:
+    """The adversarial-serving campaign as a schedulable experiment.
+
+    Imported lazily so the reliability layer does not pull the whole
+    serving stack at module import (and so the subprocess worker
+    resolves it fresh in the child).
+    """
+    from repro.serve.campaign import campaign_cell
+    observe = params.pop("observe", True)
+    return campaign_cell(params, observe=observe)
+
+
+def _spec_name(name: str) -> str:
+    """``"serve-campaign@s0.none"`` -> ``"serve-campaign"``.
+
+    Everything before ``@`` resolves the :class:`ExperimentSpec`; the
+    full instance name keys the journal, params, and results -- so one
+    spec can be scheduled many times with different parameters in a
+    single campaign (the serving campaign runs one instance per
+    (seed, scenario) cell).
+    """
+    return name.split("@", 1)[0]
+
+
 #: The evaluation experiments the campaign runner can schedule.  Params
 #: must stay JSON-serializable -- they ride in the journal header and
 #: across the subprocess boundary.
@@ -101,6 +125,13 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             serde.breakdown_to_payload, serde.breakdown_from_payload,
             fast_params={"workloads": ["lebench"],
                          "schemes": ["perspective"], "requests": 12}),
+        ExperimentSpec(
+            "serve-campaign", _serve_campaign_cell,
+            serde.campaign_to_payload, serde.campaign_from_payload,
+            default_params={"seed": 0, "scenario": "none",
+                            "observe": True},
+            fast_params={"seed": 0, "scenario": "none", "epochs": 3,
+                         "observe": True}),
     )
 }
 
@@ -132,7 +163,7 @@ class CampaignConfig:
     collect_metrics: bool = False
 
     def resolved_params(self, name: str) -> dict[str, Any]:
-        spec = EXPERIMENTS[name]
+        spec = EXPERIMENTS[_spec_name(name)]
         base = spec.fast_params if self.fast else spec.default_params
         return {**base, **self.params.get(name, {})}
 
@@ -172,10 +203,10 @@ class CampaignState:
         payload = self.payloads.get(name)
         if payload is None:
             return None
-        return EXPERIMENTS[name].from_payload(payload)
+        return EXPERIMENTS[_spec_name(name)].from_payload(payload)
 
     def results(self) -> dict[str, Any]:
-        return {name: EXPERIMENTS[name].from_payload(payload)
+        return {name: EXPERIMENTS[_spec_name(name)].from_payload(payload)
                 for name, payload in self.payloads.items()}
 
 
@@ -190,7 +221,7 @@ def _run_spec(name: str, params: dict[str, Any],
     (:meth:`MetricsRegistry.merge`); hot-path counters and spans from
     every shard combine into one picture of the campaign.
     """
-    spec = EXPERIMENTS[name]
+    spec = EXPERIMENTS[_spec_name(name)]
     registry = obs.MetricsRegistry(meta={"experiment": name}) \
         if collect_metrics else None
     from contextlib import nullcontext
@@ -248,9 +279,15 @@ class CampaignRunner:
         self._sleep = sleep
         self._on_start = on_experiment_start
         unknown = [n for n in self.config.experiments
-                   if n not in EXPERIMENTS]
+                   if _spec_name(n) not in EXPERIMENTS]
         if unknown:
             raise ValueError(f"unknown experiments: {unknown}")
+        dupes = [n for n in self.config.experiments
+                 if list(self.config.experiments).count(n) > 1]
+        if dupes:
+            raise ValueError(
+                f"duplicate experiment instances: {sorted(set(dupes))}; "
+                "schedule repeats as distinct 'name@instance' entries")
 
     # -- journal ----------------------------------------------------------
 
@@ -267,19 +304,23 @@ class CampaignRunner:
                     continue
                 record = json.loads(line)
                 if record.get("event") == "header":
-                    if record != header:
+                    # Forward-compatible match: a journal written before
+                    # a runner upgrade lacks newly added header fields;
+                    # every field it *does* carry must agree.
+                    if not serde.header_compatible(record, header):
                         raise ValueError(
                             "journal was written by a different campaign "
                             "configuration; refusing to resume from "
                             f"{self.journal_path} (delete it to restart)")
                     continue
+                record = serde.default_record(record)
                 name = record["name"]
-                state.attempts[name] = record.get("attempts", 1)
+                state.attempts[name] = record["attempts"]
                 if record["status"] == "done":
                     state.payloads[name] = record["payload"]
                 else:
-                    state.failures[name] = record.get("error",
-                                                      "unknown failure")
+                    state.failures[name] = record["error"] \
+                        or "unknown failure"
         return state
 
     def _append(self, record: dict[str, Any]) -> None:
@@ -336,8 +377,15 @@ class CampaignRunner:
                 ok, payload_or_error, fires, snapshot = \
                     self._attempt(name, params)
             if snapshot is not None:
-                self.metrics.merge(obs.MetricsRegistry.from_snapshot(
-                    snapshot))
+                part = obs.MetricsRegistry.from_snapshot(snapshot)
+                self.metrics.merge(part)
+                # Thread worker-side metrics back into whatever registry
+                # the *caller* has active: without this, counters and
+                # spans recorded inside the subprocess were silently
+                # dropped unless ``collect_metrics`` was set up front.
+                ambient = obs.active_registry()
+                if ambient is not None and ambient is not self.metrics:
+                    ambient.merge(part)
             obs.add(f"campaign.{name}.attempts")
             for point in sorted(fires):
                 obs.add(f"campaign.{name}.fault_fires.{point}",
@@ -369,7 +417,11 @@ class CampaignRunner:
         """One execution attempt:
         (ok, payload_or_error, fault_fires, metrics_snapshot)."""
         fault = self.config.fault.to_dict() if self.config.fault else None
-        collect = self.config.collect_metrics
+        # Collect when asked to *or* when the caller is observing: an
+        # ambient registry means someone wants these metrics, and a
+        # subprocess worker's registrations cannot reach it otherwise.
+        collect = self.config.collect_metrics \
+            or obs.active_registry() is not None
         if not self.config.isolate:
             try:
                 payload, fires, snapshot = _run_spec(name, params, fault,

@@ -51,6 +51,16 @@ FAULT_POINTS: dict[str, str] = {
     "trace-drop": "the tracing ring buffer drops a function-entry record",
     "fuzzer-stall": "a fuzzing round spends its time budget without "
                     "making coverage progress",
+    "serve-ibpb-drop": "the tenant-switch IBPB microcode op faults; the "
+                       "kernel falls back to a full branch-unit flush "
+                       "(never a skipped barrier)",
+    "view-refill-fault": "a view-cache refill aborts after the "
+                         "conservative block: no entry is installed and "
+                         "the next access re-misses",
+    "admission-queue-corrupt": "an admission-queue slot fails its "
+                               "integrity check at arrival: the request "
+                               "is shed, never dispatched with corrupt "
+                               "tenant metadata",
 }
 
 

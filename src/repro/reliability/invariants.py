@@ -32,7 +32,8 @@ from repro.reliability.faultplane import FaultPlane, FaultSpec, inject
 
 #: Column order of the invariant matrix.
 CHECKS = ("attacks-blocked", "no-stale-owner", "isv-monotone",
-          "fuzzer-monotone", "fault-activity")
+          "fuzzer-monotone", "secret-intact", "admission-closed",
+          "fault-activity")
 
 #: Default PoC set: every registered attack.
 DEFAULT_ATTACKS = ("spectre-v1-active", "spectre-v2-active",
@@ -90,6 +91,14 @@ FAULT_SWEEP: tuple[FaultScenario, ...] = (
                    FaultSpec("dsv-assign-drop", 0.1),
                    FaultSpec("trace-drop", 0.1),
                    FaultSpec("fuzzer-stall", 0.1))),
+    # Serve-plane fault points (appended -- earlier rows keep their
+    # positions for existing index-based consumers).
+    FaultScenario("serve-ibpb-drop",
+                  (FaultSpec("serve-ibpb-drop", 1.0),)),
+    FaultScenario("view-refill-fault",
+                  (FaultSpec("view-refill-fault", 0.5),)),
+    FaultScenario("admission-corrupt",
+                  (FaultSpec("admission-queue-corrupt", 0.5),)),
 )
 
 
@@ -333,6 +342,79 @@ class InvariantChecker:
         return (InvariantVerdict(scenario.name, "fuzzer-monotone", ok,
                                  detail), plane.total_fires())
 
+    def _check_secret_intact(
+            self, scenario: FaultScenario) -> tuple[InvariantVerdict, int]:
+        """The conformance oracle under faults: a dropped tenant-switch
+        IBPB or a faulted view-cache refill may cost cycles, but the
+        *architectural* digest -- syscall outcomes, memory, allocator
+        state, and above all the planted secret -- must match the
+        fault-free run byte for byte, and the secret must never move."""
+        from repro.serve.conformance import (
+            _ARCH_KEYS,
+            generate_trace,
+            run_trace_under,
+        )
+        fires = 0
+        problems: list[str] = []
+        trace = generate_trace(self.seed, steps=8, tenants=2)
+        for scheme in self.schemes:
+            baseline = run_trace_under(scheme, trace, tenants=2)
+            plane = scenario.plane(self.seed)
+            with inject(plane):
+                faulted = run_trace_under(scheme, trace, tenants=2)
+            fires += plane.total_fires()
+            if not faulted["secret_intact"]:
+                problems.append(f"{scheme}: planted secret corrupted "
+                                "under faults")
+            diverged = [key for key in _ARCH_KEYS
+                        if faulted[key] != baseline[key]]
+            if diverged:
+                problems.append(f"{scheme}: architectural divergence "
+                                f"under faults: {diverged}")
+        detail = (f"{len(self.schemes)} schemes, trace of {len(trace)} "
+                  "steps, architectural digests identical")
+        if problems:
+            detail = "; ".join(problems)
+        return (InvariantVerdict(scenario.name, "secret-intact",
+                                 not problems, detail), fires)
+
+    def _check_admission_closed(
+            self, scenario: FaultScenario) -> tuple[InvariantVerdict, int]:
+        """A corrupted admission-queue slot is shed, never dispatched:
+        the books must balance exactly (every arrival either completed
+        or was shed, every corrupt slot accounted as shed, every fault
+        firing accounted as a corrupt shed)."""
+        from repro.serve.engine import ServeConfig, run_serve
+        plane = scenario.plane(self.seed)
+        config = ServeConfig(scheme="perspective", tenants=2, seed=self.seed,
+                             requests_per_tenant=6)
+        with inject(plane):
+            report = run_serve(config)
+        fires = plane.total_fires()
+        arrivals = sum(t.arrivals for t in report.tenants)
+        admitted = sum(t.admitted for t in report.tenants)
+        shed = sum(t.shed for t in report.tenants)
+        corrupt = sum(t.corrupt_shed for t in report.tenants)
+        problems: list[str] = []
+        if admitted + shed != arrivals:
+            problems.append(f"books don't balance: {arrivals} arrivals "
+                            f"!= {admitted} admitted + {shed} shed")
+        if report.completed != admitted:
+            problems.append(f"admitted requests went missing: "
+                            f"{admitted} admitted, "
+                            f"{report.completed} completed")
+        if corrupt != plane.fires.get("admission-queue-corrupt", 0):
+            problems.append(
+                f"corrupt sheds ({corrupt}) != fault firings "
+                f"({plane.fires.get('admission-queue-corrupt', 0)}): a "
+                "corrupted slot was dispatched")
+        detail = (f"{arrivals} arrivals, {corrupt} corrupt slots shed, "
+                  f"{report.completed} completed")
+        if problems:
+            detail = "; ".join(problems)
+        return (InvariantVerdict(scenario.name, "admission-closed",
+                                 not problems, detail), fires)
+
     # -- drivers -----------------------------------------------------------
 
     def check_scenario(self, scenario: FaultScenario
@@ -352,6 +434,15 @@ class InvariantChecker:
             fires += f
         if scenario.arms("fuzzer-stall"):
             v, f = self._check_fuzzer_monotone(scenario)
+            verdicts.append(v)
+            fires += f
+        if scenario.arms("serve-ibpb-drop") \
+                or scenario.arms("view-refill-fault"):
+            v, f = self._check_secret_intact(scenario)
+            verdicts.append(v)
+            fires += f
+        if scenario.arms("admission-queue-corrupt"):
+            v, f = self._check_admission_closed(scenario)
             verdicts.append(v)
             fires += f
         # A scenario whose armed points never fire proves nothing -- it

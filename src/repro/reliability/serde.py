@@ -138,6 +138,53 @@ def security_to_payload(cells: list[MatrixCell]) -> dict[str, Any]:
     } for cell in cells]}
 
 
+def campaign_to_payload(report: dict[str, Any]) -> dict[str, Any]:
+    """The serving-campaign cell is already a JSON-able report dict."""
+    return report
+
+
+def campaign_from_payload(data: dict[str, Any]) -> dict[str, Any]:
+    return data
+
+
+# ---------------------------------------------------------------------------
+# Journal forward compatibility
+# ---------------------------------------------------------------------------
+
+#: Defaults for per-experiment journal records: keys newer runners write
+#: but journals from before an upgrade may lack.  ``default_record``
+#: fills these on load, so a pre-upgrade journal resumes cleanly.
+RECORD_DEFAULTS: dict[str, Any] = {
+    "attempts": 1,
+    "retry_delays": [],
+    "error": None,
+    "payload": None,
+}
+
+
+def default_record(record: dict[str, Any]) -> dict[str, Any]:
+    """Fill missing per-experiment record keys with their defaults."""
+    out = dict(RECORD_DEFAULTS)
+    out.update(record)
+    return out
+
+
+def header_compatible(stored: dict[str, Any],
+                      current: dict[str, Any]) -> bool:
+    """Whether a stored journal header can resume under ``current``.
+
+    Every field the stored header carries must match the current
+    configuration exactly; fields only the *current* header has are new
+    configuration knobs added since the journal was written, and a
+    pre-upgrade journal is still resumable (the knob's value at write
+    time was, by definition, the default).  A field only the stored
+    header has means the configuration schema moved away from it --
+    refuse, the journal's meaning can no longer be checked.
+    """
+    return all(key in current and current[key] == value
+               for key, value in stored.items())
+
+
 def security_from_payload(data: dict[str, Any]) -> list[MatrixCell]:
     return [MatrixCell(
         attack=rec["attack"], scheme=rec["scheme"],

@@ -19,6 +19,13 @@ Conformance subcommand (the architectural oracle)::
 
     python -m repro.serve conformance --seeds 20     # seeds 0..19
     python -m repro.serve conformance --seeds 7,9    # exactly these
+
+Adversarial campaign subcommand (attacker tenants + fault storms +
+adaptive hardening; same byte-determinism contract)::
+
+    python -m repro.serve campaign --smoke           # CI campaign sweep
+    python -m repro.serve campaign --smoke --workers 4
+    python -m repro.serve campaign --journal DIR     # checkpoint/resume
 """
 
 from __future__ import annotations
@@ -32,6 +39,14 @@ DEFAULT_SWEEP = {"seeds": [0, 1, 2], "tenants": [2, 3, 4],
                  "requests_per_tenant": 10}
 SMOKE_SWEEP = {"seeds": [0, 1], "tenants": [2, 3],
                "requests_per_tenant": 6}
+
+#: Campaign sweeps: (seeds x fault scenarios).
+DEFAULT_CAMPAIGN = {"seeds": [0, 1],
+                    "scenarios": ["none", "ibpb-storm", "refill-storm",
+                                  "admission-storm", "combined-storm"]}
+SMOKE_CAMPAIGN = {"seeds": [0],
+                  "scenarios": ["none", "ibpb-storm", "refill-storm",
+                                "admission-storm"]}
 
 
 def _run_sweep(args: argparse.Namespace) -> int:
@@ -104,6 +119,143 @@ def _conformance_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_cells_in_order(params: dict) -> list[tuple[int, str]]:
+    return [(seed, scenario) for seed in params["seeds"]
+            for scenario in params["scenarios"]]
+
+
+def _campaign_via_journal(args: argparse.Namespace,
+                          params: dict) -> dict | None:
+    """Run the sweep's cells through the reliability CampaignRunner.
+
+    Each (seed, scenario) cell becomes one ``serve-campaign@...``
+    instance: subprocess-isolated, retried, and journaled -- kill the
+    process between cells and the next invocation resumes where it
+    stopped, assembling the same bytes as an uninterrupted run.
+    """
+    import os
+    import signal
+
+    from repro.obs import MetricsRegistry
+    from repro.reliability.campaign import CampaignConfig, CampaignRunner
+
+    instances = []
+    cell_params: dict[str, dict] = {}
+    for seed, scenario in _campaign_cells_in_order(params):
+        name = f"serve-campaign@s{seed}.{scenario}"
+        instances.append(name)
+        cell_params[name] = {"seed": seed, "scenario": scenario,
+                             "observe": True}
+    config = CampaignConfig(
+        seed=0, experiments=tuple(instances), params=cell_params,
+        max_attempts=2, timeout_s=600.0, backoff_base_s=0.05)
+
+    started = {"count": 0}
+
+    def on_start(name: str) -> None:
+        kill_after = args.kill_after_cells
+        if kill_after is not None and started["count"] >= kill_after:
+            # Simulate a hard crash between cells: no cleanup, no
+            # journal flush beyond what's already on disk.
+            os.kill(os.getpid(), signal.SIGKILL)
+        started["count"] += 1
+
+    runner = CampaignRunner(args.journal, config,
+                            on_experiment_start=on_start)
+    state = runner.run()
+    cells = []
+    merged = None
+    for name in instances:
+        payload = state.payloads.get(name)
+        if payload is None:
+            print(f"{name} failed: "
+                  f"{state.failures.get(name, 'missing')}",
+                  file=sys.stderr)
+            return None
+        cell = dict(payload)
+        part = MetricsRegistry.from_snapshot(cell.pop("metrics"))
+        if merged is None:
+            merged = part
+        else:
+            merged.merge(part)
+        cells.append(cell)
+    assert merged is not None
+    return {"cells": cells, "metrics": merged.snapshot()}
+
+
+def _campaign_command(args: argparse.Namespace) -> int:
+    from repro.obs import MetricsRegistry
+
+    params = dict(SMOKE_CAMPAIGN if args.smoke else DEFAULT_CAMPAIGN)
+    params["observe"] = True
+    if args.journal:
+        result = _campaign_via_journal(args, params)
+        if result is None:
+            return 1
+    else:
+        from repro.exec.engine import run_experiment
+        result, report = run_experiment(
+            "campaign", params, workers=args.workers,
+            use_cache=not args.no_cache)
+        print(report.summary(), file=sys.stderr)
+
+    registry = MetricsRegistry.from_snapshot(result["metrics"])
+    registry.meta.update({
+        "plane": "repro.serve.campaign",
+        "sweep": "smoke" if args.smoke else "default",
+        "seeds": params["seeds"], "scenarios": params["scenarios"],
+    })
+    rendered_json = registry.to_json(indent=1) + "\n"
+    if args.json:
+        print(rendered_json, end="")
+    else:
+        for cell in result["cells"]:
+            spec = cell["spec"]
+            leaks = cell["leaks"]
+            slo = cell["slo"]
+            escalations = sum(1 for s in cell["escalation_steps"]
+                              if s["action"] == "escalate")
+            recovery = slo["recovery_cycles"]
+            recovery_txt = (f"{recovery:.0f}"
+                            if recovery is not None else "-")
+            print(f"seed={spec['seed']} scenario={spec['scenario']}: "
+                  f"completed={cell['completed']} shed={cell['shed']} "
+                  f"blocked={leaks['blocked_bytes']}"
+                  f"/{leaks['attempted_bytes']} "
+                  f"escalations={escalations} "
+                  f"p99={cell['latency_p99']:.0f} "
+                  f"recovery={recovery_txt} "
+                  f"secret_intact={cell['secret']['intact']}")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered_json)
+        print(f"snapshot written to {args.out}", file=sys.stderr)
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(result["cells"], handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.report}", file=sys.stderr)
+    if args.artifacts:
+        import pathlib
+
+        from repro.obs.profile import SpanTree
+        outdir = pathlib.Path(args.artifacts)
+        outdir.mkdir(parents=True, exist_ok=True)
+        folded = outdir / "campaign_spans.folded"
+        folded.write_text(SpanTree.from_spans(
+            registry.snapshot()["spans"]).to_folded())
+        print(f"artifacts written to {outdir}", file=sys.stderr)
+    # Fail-closed gate: a campaign run that leaked even one byte, or
+    # whose planted secret moved, is a red exit for CI.
+    for cell in result["cells"]:
+        if cell["leaks"]["leaked_bytes"] or not cell["secret"]["intact"]:
+            print("LEAK DETECTED: campaign cell "
+                  f"s{cell['spec']['seed']}.{cell['spec']['scenario']}",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
 def _subcommand_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve",
@@ -123,10 +275,38 @@ def _subcommand_parser() -> argparse.ArgumentParser:
                       help="comma list (default: the conformance set)")
     conf.add_argument("--no-minimize", action="store_true",
                       help="skip trace minimization on divergence")
+
+    camp = sub.add_parser(
+        "campaign",
+        help="adversarial serving campaign: attacker tenants, fault "
+             "storms, adaptive Perspective hardening (exit 1 on any "
+             "leaked byte)")
+    camp.add_argument("--smoke", action="store_true",
+                      help="trimmed CI sweep (1 seed x 4 scenarios)")
+    camp.add_argument("--workers", type=int, default=1,
+                      help="parallel cell workers (same bytes either way)")
+    camp.add_argument("--no-cache", action="store_true",
+                      help="bypass the repro.exec result cache")
+    camp.add_argument("--json", action="store_true",
+                      help="print the JSON snapshot instead of per-cell "
+                           "summary lines")
+    camp.add_argument("-o", "--out", metavar="FILE",
+                      help="write the JSON metrics snapshot to FILE")
+    camp.add_argument("--report", metavar="FILE",
+                      help="write the full per-cell campaign reports")
+    camp.add_argument("--journal", metavar="DIR",
+                      help="run cells through the reliability campaign "
+                           "runner (checkpoint/resume journal in DIR)")
+    camp.add_argument("--artifacts", metavar="DIR",
+                      help="write CI artifacts (folded flamegraph "
+                           "stacks) to DIR")
+    camp.add_argument("--kill-after-cells", type=int, default=None,
+                      help=argparse.SUPPRESS)  # crash-test hook
     return parser
 
 
-_COMMANDS = {"conformance": _conformance_command}
+_COMMANDS = {"conformance": _conformance_command,
+             "campaign": _campaign_command}
 
 
 def main(argv: list[str] | None = None) -> int:

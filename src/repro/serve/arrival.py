@@ -33,17 +33,25 @@ class Arrival:
     seq: int
 
 
-def tenant_rng(seed: int, tenant: int) -> Random:
+#: Default RNG stream prefix; alternate planes (the adversarial campaign
+#: draws one schedule per epoch) pass their own so their schedules never
+#: alias the serving sweep's.
+DEFAULT_STREAM = "serve:arrival"
+
+
+def tenant_rng(seed: int, tenant: int,
+               stream: str = DEFAULT_STREAM) -> Random:
     """The tenant's private arrival RNG (string-seeded: hash-seed proof)."""
-    return Random(f"serve:arrival:{seed}:tenant:{tenant}")
+    return Random(f"{stream}:{seed}:tenant:{tenant}")
 
 
 def tenant_arrivals(seed: int, tenant: int, requests: int,
-                    mean_interarrival: float) -> list[Arrival]:
+                    mean_interarrival: float,
+                    stream: str = DEFAULT_STREAM) -> list[Arrival]:
     """One tenant's arrival times: exponential gaps, accumulated."""
     if mean_interarrival <= 0:
         raise ValueError("mean_interarrival must be positive")
-    rng = tenant_rng(seed, tenant)
+    rng = tenant_rng(seed, tenant, stream=stream)
     cycle = 0.0
     out: list[Arrival] = []
     for seq in range(requests):
@@ -55,12 +63,13 @@ def tenant_arrivals(seed: int, tenant: int, requests: int,
 
 
 def arrival_schedule(seed: int, tenants: int, requests_per_tenant: int,
-                     mean_interarrival: float) -> list[Arrival]:
+                     mean_interarrival: float,
+                     stream: str = DEFAULT_STREAM) -> list[Arrival]:
     """The merged multi-tenant schedule, in deterministic service order."""
     merged: list[Arrival] = []
     for tenant in range(tenants):
         merged.extend(tenant_arrivals(seed, tenant, requests_per_tenant,
-                                      mean_interarrival))
+                                      mean_interarrival, stream=stream))
     merged.sort(key=lambda a: (a.cycle, a.tenant, a.seq))
     return merged
 

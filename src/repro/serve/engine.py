@@ -53,7 +53,9 @@ from repro.eval.envs import RARE_EVERY, build_policy, perspective_flavor
 from repro.kernel.image import shared_image
 from repro.kernel.kernel import MiniKernel
 from repro.kernel.process import Process
+from repro.obs import events as ev
 from repro.obs import registry as obs
+from repro.reliability.faultplane import fire
 from repro.scanner.kasper import scan
 from repro.serve.arrival import Arrival, arrival_schedule, percentile
 from repro.workloads.apps import APP_SPECS, AppState
@@ -163,6 +165,9 @@ class TenantReport:
     arrivals: int = 0
     admitted: int = 0
     shed: int = 0
+    #: Sheds forced by the ``admission-queue-corrupt`` fault (a subset of
+    #: ``shed``): the corrupted slot was discarded, never dispatched.
+    corrupt_shed: int = 0
     completed: int = 0
     kernel_cycles: float = 0.0
     syscalls: int = 0
@@ -179,7 +184,8 @@ class TenantReport:
         return {
             "tenant": self.tenant, "profile": self.profile,
             "arrivals": self.arrivals, "admitted": self.admitted,
-            "shed": self.shed, "completed": self.completed,
+            "shed": self.shed, "corrupt_shed": self.corrupt_shed,
+            "completed": self.completed,
             "kernel_cycles": self.kernel_cycles,
             "syscalls": self.syscalls,
             "switches": self.switches,
@@ -325,27 +331,33 @@ def boot_tenants(config: ServeConfig,
 # ---------------------------------------------------------------------------
 
 
-def run_serve(config: ServeConfig, image=None) -> ServeReport:
-    """Run the full open-loop simulation; returns the per-tenant report."""
-    kernel, tenants = boot_tenants(config, image=image)
-    schedule = arrival_schedule(config.seed, config.tenants,
-                                config.requests_per_tenant,
-                                config.mean_interarrival)
-    reports = [TenantReport(tenant=t.index, profile=t.profile.name)
-               for t in tenants]
+class RunToCompletionScheduler:
+    """FIFO run-to-completion scheduling over one shared core.
 
-    waiting: deque[Arrival] = deque()
-    free_at = 0.0
-    current: int | None = None
-    makespan = 0.0
+    Extracted from :func:`run_serve` so the adversarial campaign
+    (:mod:`repro.serve.campaign`) can serve *multiple* offered batches
+    through one persistent instance: the busy clock (``free_at``), the
+    waiting queue, and the last-served tenant all carry across epochs,
+    exactly as they would on a long-lived server.  ``run_serve`` remains
+    a single-batch wrapper around it.
+    """
 
-    def dispatch(arr: Arrival) -> None:
-        nonlocal free_at, current, makespan
-        tenant = tenants[arr.tenant]
-        report = reports[arr.tenant]
-        start = max(free_at, arr.cycle)
+    def __init__(self, tenants: list[Tenant], reports: list[TenantReport],
+                 queue_bound: int = 0) -> None:
+        self.tenants = tenants
+        self.reports = reports
+        self.queue_bound = queue_bound
+        self.waiting: deque[Arrival] = deque()
+        self.free_at = 0.0
+        self.current: int | None = None
+        self.makespan = 0.0
+
+    def dispatch(self, arr: Arrival) -> None:
+        tenant = self.tenants[arr.tenant]
+        report = self.reports[arr.tenant]
+        start = max(self.free_at, arr.cycle)
         before_cycles = tenant.driver.stats.kernel_cycles
-        if current != arr.tenant:
+        if self.current != arr.tenant:
             # Context switch, charged through the real pipeline: the
             # incoming tenant runs the switch path under the armed
             # scheme (predictor flush, cold view-cache refills, DSVMT
@@ -353,7 +365,7 @@ def run_serve(config: ServeConfig, image=None) -> ServeReport:
             switch = tenant.driver.call("sched_yield")
             report.switches += 1
             report.switch_cycles += switch.cycles
-            current = arr.tenant
+            self.current = arr.tenant
             obs.add("serve.switches")
             obs.observe("serve.switch_cycles", switch.cycles)
         tenant.profile.request(tenant.driver, tenant.state, tenant.counter)
@@ -361,8 +373,9 @@ def run_serve(config: ServeConfig, image=None) -> ServeReport:
         service = tenant.driver.stats.kernel_cycles - before_cycles
         completion = start + service
         latency = completion - arr.cycle
-        free_at = completion
-        makespan = completion if completion > makespan else makespan
+        self.free_at = completion
+        if completion > self.makespan:
+            self.makespan = completion
         report.completed += 1
         report.latencies.append(latency)
         obs.observe("serve.latency_cycles", latency,
@@ -371,21 +384,72 @@ def run_serve(config: ServeConfig, image=None) -> ServeReport:
                     buckets=LATENCY_BUCKETS)
         obs.add("serve.requests.completed")
 
-    for arr in schedule:
+    def offer(self, arr: Arrival) -> None:
+        """Handle one arrival: serve whatever starts first, then admit,
+        shed (queue bound), or discard (corrupt admission slot)."""
         # Serve everything that starts no later than this arrival.
-        while waiting and max(free_at, waiting[0].cycle) <= arr.cycle:
-            dispatch(waiting.popleft())
-        reports[arr.tenant].arrivals += 1
-        if config.queue_bound and len(waiting) >= config.queue_bound:
-            reports[arr.tenant].shed += 1
+        while self.waiting \
+                and max(self.free_at, self.waiting[0].cycle) <= arr.cycle:
+            self.dispatch(self.waiting.popleft())
+        report = self.reports[arr.tenant]
+        report.arrivals += 1
+        if fire("admission-queue-corrupt"):
+            # The queue slot failed its integrity check: the request is
+            # shed -- fail closed, a request with corrupt tenant metadata
+            # is never dispatched under the wrong context's views.
+            report.shed += 1
+            report.corrupt_shed += 1
+            obs.add("serve.requests.shed")
+            obs.add("serve.requests.corrupt_shed")
+            obs.add(f"serve.tenant.{arr.tenant}.shed")
+            ev.emit("fault-fallback", context=arr.tenant,
+                    reason="admission-corrupt-shed")
+            return
+        if self.queue_bound and len(self.waiting) >= self.queue_bound:
+            report.shed += 1
             obs.add("serve.requests.shed")
             obs.add(f"serve.tenant.{arr.tenant}.shed")
-            continue
-        reports[arr.tenant].admitted += 1
-        waiting.append(arr)
-    while waiting:
-        dispatch(waiting.popleft())
+            return
+        report.admitted += 1
+        self.waiting.append(arr)
 
+    def drain(self) -> None:
+        while self.waiting:
+            self.dispatch(self.waiting.popleft())
+
+    def serve_batch(self, schedule: list[Arrival]) -> None:
+        """Offer one merged arrival batch, then run the queue dry."""
+        for arr in schedule:
+            self.offer(arr)
+        self.drain()
+
+    def occupy(self, cycles: float) -> None:
+        """Charge co-located non-request activity (an attacker tenant's
+        PoC probes) to the shared core: later requests queue behind it."""
+        self.free_at += cycles
+        if self.free_at > self.makespan:
+            self.makespan = self.free_at
+
+
+def run_serve(config: ServeConfig, image=None) -> ServeReport:
+    """Run the full open-loop simulation; returns the per-tenant report."""
+    kernel, tenants = boot_tenants(config, image=image)
+    schedule = arrival_schedule(config.seed, config.tenants,
+                                config.requests_per_tenant,
+                                config.mean_interarrival)
+    reports = [TenantReport(tenant=t.index, profile=t.profile.name)
+               for t in tenants]
+    scheduler = RunToCompletionScheduler(tenants, reports,
+                                         queue_bound=config.queue_bound)
+    scheduler.serve_batch(schedule)
+    collect_tenant_stats(tenants, reports)
+    return ServeReport(config=config, tenants=reports,
+                       makespan_cycles=scheduler.makespan)
+
+
+def collect_tenant_stats(tenants: list[Tenant],
+                         reports: list[TenantReport]) -> None:
+    """Fold each tenant's driver statistics into its report."""
     for tenant, report in zip(tenants, reports):
         stats = tenant.driver.stats
         report.kernel_cycles = stats.kernel_cycles
@@ -393,8 +457,6 @@ def run_serve(config: ServeConfig, image=None) -> ServeReport:
         report.fence_stall_cycles = stats.exec.fence_stall_cycles
         report.fenced_loads = dict(sorted(
             stats.exec.fenced_loads.items()))
-    return ServeReport(config=config, tenants=reports,
-                       makespan_cycles=makespan)
 
 
 # ---------------------------------------------------------------------------
