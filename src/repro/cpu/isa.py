@@ -190,15 +190,99 @@ def kret() -> MicroOp:
 OP_SIZE = 4
 
 
+def _rebuild_body(ops: list, version: int) -> "BodyList":
+    body = BodyList(ops)
+    body.version = version
+    return body
+
+
+class BodyList(list):
+    """A function body that counts its own mutations.
+
+    Every mutating list operation bumps ``version``, which the decode
+    tables (:meth:`Function.decoded`) and the block JIT
+    (:mod:`repro.cpu.blockcache`) use as their staleness key.  This closes
+    the hole where an *in-place, same-length* op replacement (e.g. the
+    image generator's gadget splicing) left a stale decode live unless the
+    caller remembered to call :meth:`Function.invalidate_decode` -- the
+    stale state is now unrepresentable rather than merely detectable.
+    """
+
+    __slots__ = ("version",)
+
+    def __init__(self, iterable=()) -> None:
+        super().__init__(iterable)
+        self.version = 0
+
+    def bump(self) -> None:
+        """Force-invalidate derived state (decode tables, compiled blocks)."""
+        self.version += 1
+
+    def __reduce__(self):
+        return (_rebuild_body, (list(self), self.version))
+
+    def __setitem__(self, index, value) -> None:
+        super().__setitem__(index, value)
+        self.version += 1
+
+    def __delitem__(self, index) -> None:
+        super().__delitem__(index)
+        self.version += 1
+
+    def __iadd__(self, other):
+        result = super().__iadd__(other)
+        self.version += 1
+        return result
+
+    def __imul__(self, factor):
+        result = super().__imul__(factor)
+        self.version += 1
+        return result
+
+    def append(self, value) -> None:
+        super().append(value)
+        self.version += 1
+
+    def extend(self, iterable) -> None:
+        super().extend(iterable)
+        self.version += 1
+
+    def insert(self, index, value) -> None:
+        super().insert(index, value)
+        self.version += 1
+
+    def pop(self, index=-1):
+        value = super().pop(index)
+        self.version += 1
+        return value
+
+    def remove(self, value) -> None:
+        super().remove(value)
+        self.version += 1
+
+    def clear(self) -> None:
+        super().clear()
+        self.version += 1
+
+    def sort(self, **kwargs) -> None:
+        super().sort(**kwargs)
+        self.version += 1
+
+    def reverse(self) -> None:
+        super().reverse()
+        self.version += 1
+
+
 @dataclass(frozen=True, slots=True)
 class DecodedBody:
     """Precomputed per-op tables the pipeline's fetch/issue loop consults.
 
     One entry per op *plus one* for the implicit-RET slot at
     ``index == len(body)``, so the hot loop never branches on the
-    end-of-function case.  ``length``/``base_va`` are the validity key:
-    a decode is stale once the body grows/shrinks or the function is
-    (re)placed in a layout.
+    end-of-function case.  ``length``/``base_va``/``version`` are the
+    validity key: a decode is stale once the body grows/shrinks, the
+    function is (re)placed in a layout, or any in-place op replacement
+    bumps the :class:`BodyList` mutation counter.
     """
 
     vas: tuple[int, ...]
@@ -206,6 +290,7 @@ class DecodedBody:
     reads: tuple[tuple[str, ...], ...]
     length: int
     base_va: int
+    version: int = 0
 
 
 @dataclass
@@ -218,7 +303,7 @@ class Function:
     """
 
     name: str
-    body: list[MicroOp] = field(default_factory=list)
+    body: list[MicroOp] = field(default_factory=BodyList)
     base_va: int = 0
     #: Direct callees (function names), derivable from the body; cached here.
     callees: tuple[str, ...] = ()
@@ -233,6 +318,10 @@ class Function:
     #: shown -- it is a pure cache over ``body``/``base_va``.
     _decoded: DecodedBody | None = field(
         default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.body, BodyList):
+            self.body = BodyList(self.body)
 
     def __len__(self) -> int:
         return len(self.body)
@@ -251,30 +340,47 @@ class Function:
     def decoded(self) -> DecodedBody:
         """The cached decode of this body (recomputed when stale).
 
-        Staleness is keyed on ``(len(body), base_va)``, which covers every
-        mutation the image generator performs (splicing ops in, layout
-        placement).  Code that replaces ops *in place without changing the
-        length* after a decode was taken must call
-        :meth:`invalidate_decode`.
+        Staleness is keyed on ``(len(body), base_va, body.version)``:
+        growth/shrink, layout (re)placement, *and* in-place op replacement
+        (every :class:`BodyList` mutator bumps the version) all force a
+        re-decode, so a stale decode can never be replayed silently --
+        callers no longer need to remember :meth:`invalidate_decode`.
         """
+        body = self.body
+        if not isinstance(body, BodyList):
+            # A caller assigned a plain list; adopt it so mutation
+            # tracking resumes (the decode below is freshly computed).
+            body = self.body = BodyList(body)
         dec = self._decoded
-        if dec is not None and dec.length == len(self.body) \
-                and dec.base_va == self.base_va:
+        if dec is not None and dec.length == len(body) \
+                and dec.base_va == self.base_va \
+                and dec.version == body.version:
             return dec
         base = self.base_va
-        vas = tuple(base + i * OP_SIZE for i in range(len(self.body) + 1))
+        vas = tuple(base + i * OP_SIZE for i in range(len(body) + 1))
         dec = DecodedBody(
             vas=vas,
             lines=tuple(va // 64 for va in vas),
-            reads=tuple(op.reads() for op in self.body) + ((),),
-            length=len(self.body),
-            base_va=base)
+            reads=tuple(op.reads() for op in body) + ((),),
+            length=len(body),
+            base_va=base,
+            version=body.version)
         self._decoded = dec
         return dec
 
     def invalidate_decode(self) -> None:
-        """Drop the cached decode after an in-place body mutation."""
+        """Force-drop derived state (decode tables, compiled blocks).
+
+        Mutations through :class:`BodyList` are tracked automatically;
+        this remains for callers that mutated the body through an alias
+        that bypassed the tracked methods.
+        """
         self._decoded = None
+        body = self.body
+        if isinstance(body, BodyList):
+            body.bump()
+        else:
+            self.body = BodyList(body)
 
 
 class CodeLayout:

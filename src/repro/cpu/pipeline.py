@@ -31,6 +31,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.cpu.blockcache import BlockCache, run_epoch
 from repro.cpu.branch import BranchUnit
 from repro.cpu.cache import CacheHierarchy
 from repro.cpu.isa import AluOp, CodeLayout, Function, MicroOp, Op, OP_SIZE
@@ -66,6 +67,13 @@ class PipelineConfig:
     enforce_lsq: bool = False
     max_transient_ops: int = 64
     max_committed_ops: int = 2_000_000  # runaway-program backstop
+    #: Basic-block trace memoization (see :mod:`repro.cpu.blockcache`):
+    #: straight-line micro-op runs are compiled to specialized replay
+    #: functions and dispatched whenever speculation cannot interfere.
+    #: Byte-exact against the interpreter (cycles included); off by
+    #: default so existing snapshots and configs are unchanged.  Ignored
+    #: when ``enforce_lsq`` is set (blocks skip LQ/SQ bookkeeping).
+    enable_block_cache: bool = False
 
 
 @dataclass
@@ -250,6 +258,11 @@ class Pipeline:
         self.branch_unit = branch_unit or BranchUnit()
         self.config = config or PipelineConfig()
         self.tlb = tlb or TLB()
+        #: Monotonic count of ``set_policy`` calls -- part of the block
+        #: JIT's epoch key, so a policy swap invalidates memoized blocks.
+        self._policy_gen = 0
+        #: Lazily-built :class:`repro.cpu.blockcache.BlockCache`.
+        self._blockcache = None
         self.set_policy(SpeculationPolicy())
         #: Optional observer called with (function, context) whenever the
         #: committed path enters a function -- the kernel tracing subsystem
@@ -258,6 +271,7 @@ class Pipeline:
 
     def set_policy(self, policy: SpeculationPolicy) -> None:
         self.policy = policy
+        self._policy_gen += 1
         # A *passive* policy statically allows every speculative load with
         # no side effects (the UNSAFE baseline).  The load path then skips
         # building the LoadQuery entirely -- semantics are unchanged
@@ -318,7 +332,61 @@ class Pipeline:
         if trace is not None:
             trace(func, context)
 
+        # --- block JIT arming (see repro.cpu.blockcache) --------------
+        #: Fetch accounting delegated to compiled blocks: [lines, stall].
+        facc = [0, 0.0]
+        blocks = None
+        bc = None
+        bc_token = None
+        bc_hits = bc_misses = bc_invalidations = 0
+        fast_replay = False
+        stt_delays = False
+        #: Side-effect-free direct-map window for compiled blocks, read
+        #: off the *exact* address-space type so a subclass overriding
+        #: ``translate`` never inherits the fast path.  The (1, 0) empty
+        #: window makes the inline test statically false.
+        _as_dict = type(context.address_space).__dict__
+        dml = _as_dict.get("DIRECT_MAP_LO", 1)
+        dmh = _as_dict.get("DIRECT_MAP_HI", 0)
+        if cfg.enable_block_cache and not cfg.enforce_lsq:
+            bc = self._blockcache
+            if bc is None:
+                bc = self._blockcache = BlockCache(self)
+            bc_token = bc.refresh(run_epoch(self))
+            # Passive policies (UNSAFE baseline) replay blocks even under
+            # in-flight predictions: the generated load path reproduces
+            # the interpreter's fast path exactly.  Anything else replays
+            # only when every prediction has resolved.
+            fast_replay = self._passive_allow \
+                and ev.active_journal() is None
+            stt_delays = self.policy.delays_tainted_branch_resolution()
+            blocks = bc.index_for(func)
+        max_commit = cfg.max_committed_ops
+
         while True:
+            reg = blocks.get(idx) if blocks is not None else None
+            if reg is not None:
+                # Enter the function's compiled region: it replays every
+                # block it can (chaining through loops in-frame) and
+                # reports why it stopped.  Whatever ``idx`` it returns is
+                # executed by the interpreter below -- a stale or guarded
+                # block re-interprets exactly once, and an uncompiled op
+                # is simply not ours.  ``hits + misses`` therefore equals
+                # the number of arrivals at compiled leaders.
+                clock, idx, last_fetch_line, replayed, stop = reg.fn(
+                    regs, reg_ready, taint_until, unresolved, rob, clock,
+                    last_fetch_line, result, translate, facc, func,
+                    context, stt_delays, dml, dmh, idx, fast_replay,
+                    max_commit, reg.tokens, bc_token)
+                bc_hits += replayed
+                if stop == 2:
+                    # Speculation environment changed since this block was
+                    # memoized: re-interpret once below, then re-arm.
+                    bc_invalidations += 1
+                    bc_misses += 1
+                    reg.arm(idx, bc_token)
+                elif stop == 1:
+                    bc_misses += 1
             if idx >= len(body):
                 # Fall off the end of a function: implicit return.
                 op = _IMPLICIT_RET
@@ -421,6 +489,8 @@ class Pipeline:
                 call_stack.append((func, idx + 1))
                 func, body, idx = callee, callee.body, 0
                 dec = callee.decoded()
+                if bc is not None:
+                    blocks = bc.index_for(func)
                 last_fetch_line = -1
                 rob.append(clock)
                 if trace is not None:
@@ -436,6 +506,8 @@ class Pipeline:
                     call_stack.append((func, idx + 1))
                 func, body, idx = new_func, new_func.body, 0
                 dec = new_func.decoded()
+                if bc is not None:
+                    blocks = bc.index_for(func)
                 last_fetch_line = -1
                 rob.append(clock)
                 if trace is not None:
@@ -451,6 +523,8 @@ class Pipeline:
                 func, idx = call_stack.pop()
                 body = func.body
                 dec = func.decoded()
+                if bc is not None:
+                    blocks = bc.index_for(func)
                 last_fetch_line = -1
                 rob.append(clock)
                 continue
@@ -499,17 +573,24 @@ class Pipeline:
             clock += self.policy.kernel_exit_cost(context.context_id)
         result.cycles = clock
         result.regs = regs
+        if bc is not None:
+            bc.hits += bc_hits
+            bc.misses += bc_misses
+            bc.invalidations += bc_invalidations
         registry = obs.active_registry()
         if registry is not None:
             self._publish_run(registry, entry_name, result,
-                              fetch_lines, fetch_stall)
+                              fetch_lines + facc[0], fetch_stall + facc[1],
+                              bc, bc_hits, bc_misses, bc_invalidations)
         # Keep journal cycle stamps monotonic across runs: the next run's
         # events land after everything this run emitted.
         ev.advance(result.cycles)
         return result
 
     def _publish_run(self, registry, entry_name: str, result: ExecResult,
-                     fetch_lines: int, fetch_stall: float) -> None:
+                     fetch_lines: int, fetch_stall: float,
+                     bc=None, bc_hits: int = 0, bc_misses: int = 0,
+                     bc_invalidations: int = 0) -> None:
         """Publish one run's speculation statistics to the obs plane.
 
         Deferred to run completion so the hot loop pays nothing beyond
@@ -535,6 +616,15 @@ class Pipeline:
         registry.add("pipeline.cfi_suppressions", result.cfi_suppressions)
         registry.add("pipeline.fence.stall_cycles",
                      result.fence_stall_cycles)
+        if bc is not None:
+            # Block JIT counters: published only when the cache is armed,
+            # so cache-off snapshots stay byte-identical.
+            registry.add("pipeline.blockcache.hits", bc_hits)
+            registry.add("pipeline.blockcache.misses", bc_misses)
+            registry.add("pipeline.blockcache.invalidations",
+                         bc_invalidations)
+            registry.gauge("pipeline.blockcache.compiled_blocks",
+                           bc.compiled_blocks)
         for reason, count in result.fenced_loads.items():
             registry.add(f"pipeline.fence.reason.{reason}", count)
         total_fenced = result.total_fenced

@@ -32,7 +32,6 @@ config are identical, so analyses, attacks and benchmarks are reproducible.
 
 from __future__ import annotations
 
-import functools
 import random
 from dataclasses import dataclass
 
@@ -874,12 +873,33 @@ class KernelImage:
                 f"{self.config.total_functions}")
 
 
-@functools.lru_cache(maxsize=2)
+#: Process-wide image cache, explicitly keyed by generation seed.  An
+#: ``lru_cache(maxsize=2)`` sat here before: interleaving three or more
+#: seeds in one process (a sweep, or a `repro.exec` worker that services
+#: shards of different configs) silently evicted and *regenerated*
+#: images mid-run, so the "shared" instance an experiment held was not
+#: the one later kernels got -- and worker processes could disagree with
+#: a serial run about which instances were live.  An explicit dict has
+#: no eviction: one instance per seed for the life of the process, and
+#: test/experiment setup can reset it deterministically.
+_SHARED_IMAGES: dict[int, KernelImage] = {}
+
+
 def shared_image(seed: int = ImageConfig.seed) -> KernelImage:
-    """A process-wide cached default image.
+    """A process-wide cached default image, one instance per seed.
 
     The image is immutable after construction and contains no runtime
     state, so experiments, attacks and tests can share one instance across
     many kernel instances instead of paying generation time repeatedly.
+    Repeated calls with the same seed return the *same* object no matter
+    how many other seeds were requested in between.
     """
-    return KernelImage(ImageConfig(seed=seed))
+    image = _SHARED_IMAGES.get(seed)
+    if image is None:
+        image = _SHARED_IMAGES[seed] = KernelImage(ImageConfig(seed=seed))
+    return image
+
+
+def clear_shared_images() -> None:
+    """Drop every cached image (deterministic experiment/test setup)."""
+    _SHARED_IMAGES.clear()

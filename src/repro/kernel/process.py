@@ -59,6 +59,15 @@ class KernelMappings:
 class ProcessAddressSpace(AddressSpace):
     """Per-process translation: user page table + shared kernel mappings."""
 
+    #: Published direct-map window: ``translate(va) == va - DIRECT_MAP_LO``
+    #: for ``DIRECT_MAP_LO <= va < DIRECT_MAP_HI``, with no side effects.
+    #: The block JIT inlines exactly this window (see
+    #: ``repro.cpu.blockcache``); subclasses overriding ``translate`` do
+    #: not inherit the contract because the JIT reads these off the exact
+    #: type's ``__dict__``, never through the MRO.
+    DIRECT_MAP_LO = DIRECT_MAP_BASE
+    DIRECT_MAP_HI = DIRECT_MAP_BASE + PHYS_SIZE
+
     def __init__(self, kernel_mappings: KernelMappings) -> None:
         self.kernel = kernel_mappings
         self._user: dict[int, int] = {}  # va page -> frame

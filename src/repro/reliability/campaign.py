@@ -276,6 +276,12 @@ class CampaignRunner:
         self.metrics = obs.MetricsRegistry(
             meta={"plane": "repro.reliability.campaign",
                   "seed": self.config.seed})
+        #: Shards produced by the *current* ``run()`` invocation only --
+        #: the persisted sidecar folds these into whatever an earlier
+        #: (killed/interrupted) invocation already wrote, so the on-disk
+        #: aggregate is cumulative and each experiment's counters land in
+        #: it exactly once no matter how often the campaign resumes.
+        self._pending_shards: list[obs.MetricsRegistry] = []
         self._sleep = sleep
         self._on_start = on_experiment_start
         unknown = [n for n in self.config.experiments
@@ -363,9 +369,28 @@ class CampaignRunner:
             else:
                 state.failures[name] = record["error"]
         if self.config.collect_metrics:
-            self.metrics_path.write_text(self.metrics.to_json(indent=1)
-                                         + "\n")
+            self._write_metrics()
         return state
+
+    def _write_metrics(self) -> None:
+        """Persist the metrics sidecar, cumulatively across resumes.
+
+        Only the shards this ``run()`` invocation produced are folded
+        into whatever a previous (interrupted) invocation already wrote:
+        journaled experiments are never re-run, so their counters must
+        not be re-merged either -- a kill/resume cycle converges on the
+        same sidecar a single uninterrupted run writes, and resuming a
+        finished campaign is a no-op rather than an empty overwrite.
+        """
+        if self.metrics_path.exists():
+            combined = obs.MetricsRegistry.from_snapshot(
+                json.loads(self.metrics_path.read_text()))
+        else:
+            combined = obs.MetricsRegistry(meta=dict(self.metrics.meta))
+        for part in self._pending_shards:
+            combined.merge(part)
+        self._pending_shards = []
+        self.metrics_path.write_text(combined.to_json(indent=1) + "\n")
 
     def _run_with_retries(self, name: str) -> dict[str, Any]:
         params = self.config.resolved_params(name)
@@ -379,6 +404,7 @@ class CampaignRunner:
             if snapshot is not None:
                 part = obs.MetricsRegistry.from_snapshot(snapshot)
                 self.metrics.merge(part)
+                self._pending_shards.append(part)
                 # Thread worker-side metrics back into whatever registry
                 # the *caller* has active: without this, counters and
                 # spans recorded inside the subprocess were silently

@@ -167,9 +167,19 @@ class FaultPlane:
 #: The plane instrumented modules consult; ``None`` disables all faults.
 _ACTIVE: FaultPlane | None = None
 
+#: Bumped every time the active plane changes (arming *and* disarming).
+#: Memoization layers (the block JIT's epoch key) use this to notice that
+#: fault points were (re)armed between two executions of the same code.
+_GENERATION: int = 0
+
 
 def active_plane() -> FaultPlane | None:
     return _ACTIVE
+
+
+def generation() -> int:
+    """Monotonic arming generation of the fault plane."""
+    return _GENERATION
 
 
 def fire(point: str) -> bool:
@@ -187,10 +197,12 @@ def fire(point: str) -> bool:
 @contextmanager
 def inject(plane: FaultPlane) -> Iterator[FaultPlane]:
     """Activate ``plane`` for the dynamic extent of the block."""
-    global _ACTIVE
+    global _ACTIVE, _GENERATION
     previous = _ACTIVE
     _ACTIVE = plane
+    _GENERATION += 1
     try:
         yield plane
     finally:
         _ACTIVE = previous
+        _GENERATION += 1

@@ -19,6 +19,8 @@ Conformance subcommand (the architectural oracle)::
 
     python -m repro.serve conformance --seeds 20     # seeds 0..19
     python -m repro.serve conformance --seeds 7,9    # exactly these
+    python -m repro.serve conformance --cache-parity # block JIT replay
+                                    # must match interpretation exactly
 
 Adversarial campaign subcommand (attacker tenants + fault storms +
 adaptive hardening; same byte-determinism contract)::
@@ -94,12 +96,39 @@ def _parse_seeds(spec: str) -> list[int]:
     return list(range(int(spec)))
 
 
+def _cache_parity_command(args: argparse.Namespace,
+                          seeds: list[int],
+                          schemes: tuple[str, ...]) -> int:
+    from repro.serve.conformance import run_cache_parity_corpus
+
+    results = run_cache_parity_corpus(seeds, schemes=schemes,
+                                      steps=args.steps)
+    divergent = [r for r in results if not r.ok]
+    for r in results:
+        cycles = {s: round(d["cycles"]) for s, d in r.digests.items()}
+        status = "ok" if r.ok else "DIVERGENT"
+        print(f"seed {r.seed}: {status}  cycles={json.dumps(cycles)}")
+    if divergent:
+        for r in divergent:
+            print()
+            print(r.repro())
+        print(f"\n{len(divergent)}/{len(results)} seeds diverged "
+              "between block-cache replay and interpretation",
+              file=sys.stderr)
+        return 1
+    print(f"all {len(results)} seeds byte-identical (cycles included) "
+          f"with the block cache on vs off across {len(schemes)} schemes")
+    return 0
+
+
 def _conformance_command(args: argparse.Namespace) -> int:
     from repro.serve.conformance import CONFORMANCE_SCHEMES, run_corpus
 
     seeds = _parse_seeds(args.seeds)
     schemes = tuple(args.schemes.split(",")) if args.schemes \
         else CONFORMANCE_SCHEMES
+    if args.cache_parity:
+        return _cache_parity_command(args, seeds, schemes)
     results = run_corpus(seeds, schemes=schemes, steps=args.steps,
                          minimize=not args.no_minimize)
     divergent = [r for r in results if not r.ok]
@@ -275,6 +304,10 @@ def _subcommand_parser() -> argparse.ArgumentParser:
                       help="comma list (default: the conformance set)")
     conf.add_argument("--no-minimize", action="store_true",
                       help="skip trace minimization on divergence")
+    conf.add_argument("--cache-parity", action="store_true",
+                      help="instead of cross-scheme comparison, run each "
+                           "trace with the block cache off and on and "
+                           "require identical digests AND cycles")
 
     camp = sub.add_parser(
         "campaign",

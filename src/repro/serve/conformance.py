@@ -208,15 +208,22 @@ def _view_digest(framework: Perspective | None) -> str | None:
 def run_trace_under(scheme: str, trace: list[TraceStep], tenants: int = 2,
                     image=None,
                     profiles: list[frozenset[str]] | None = None,
+                    block_cache: bool | None = None,
                     ) -> dict[str, Any]:
     """Run the trace on a fresh kernel under ``scheme``; returns the
-    architectural digest (plus cycle counts, which the oracle ignores)."""
+    architectural digest (plus cycle counts, which the cross-scheme
+    oracle ignores but the block-cache parity oracle compares exactly).
+
+    ``block_cache`` forces the pipeline's basic-block trace memoization
+    on or off (``None`` keeps the pipeline default)."""
     image = shared_image() if image is None else image
     flavor = perspective_flavor(scheme)
     if flavor is not None and profiles is None:
         profiles = _profile_trace(trace, tenants, image)
 
     kernel = MiniKernel(image=image)
+    if block_cache is not None:
+        kernel.pipeline.config.enable_block_cache = block_cache
     procs = [kernel.create_process(f"conf{t}") for t in range(tenants)]
     secret_va = kernel.plant_secret(procs[0], SECRET)
     framework = None
@@ -347,6 +354,76 @@ def _check_trace(trace: list[TraceStep], seed: int,
     return ConformanceResult(seed=seed, schemes=schemes,
                              ok=not divergences,
                              divergences=divergences, digests=digests)
+
+
+# ---------------------------------------------------------------------------
+# Block-cache parity: the *exact replay* oracle
+# ---------------------------------------------------------------------------
+
+#: Keys the block-cache oracle compares.  Unlike the cross-scheme oracle,
+#: the timing keys are **included**: memoized replay promises the same
+#: cycles and fence counts as interpretation, not just the same
+#: architecture.
+_PARITY_KEYS = _ARCH_KEYS + ("views", "cycles", "fenced_loads")
+
+
+@dataclass
+class CacheParityResult:
+    """Outcome of checking one seed's traces cache-on vs cache-off."""
+
+    seed: int
+    schemes: tuple[str, ...]
+    ok: bool
+    #: Keys diverging between cache-off and cache-on, per scheme.
+    divergences: dict[str, list[str]] = field(default_factory=dict)
+    #: Cache-off digests (the reference run), per scheme.
+    digests: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def repro(self) -> str:
+        return (f"# block-cache parity divergence at seed {self.seed}: "
+                f"{self.divergences}\n"
+                f"PYTHONPATH=src python -m repro.serve conformance "
+                f"--cache-parity --seeds {self.seed}")
+
+
+def check_cache_parity(seed: int,
+                       schemes: tuple[str, ...] = CONFORMANCE_SCHEMES,
+                       steps: int = 14, tenants: int = 2,
+                       image=None) -> CacheParityResult:
+    """Run one seeded trace under every scheme twice -- block cache off,
+    then on -- and require the two digests to be **identical in every
+    key**, cycles included.  Any difference means memoized replay
+    diverged from interpretation."""
+    image = shared_image() if image is None else image
+    trace = generate_trace(seed, steps=steps, tenants=tenants)
+    profiles = None
+    if any(perspective_flavor(s) for s in schemes):
+        profiles = _profile_trace(trace, tenants, image)
+    divergences: dict[str, list[str]] = {}
+    digests: dict[str, dict[str, Any]] = {}
+    for scheme in schemes:
+        off = run_trace_under(scheme, trace, tenants=tenants, image=image,
+                              profiles=profiles, block_cache=False)
+        on = run_trace_under(scheme, trace, tenants=tenants, image=image,
+                             profiles=profiles, block_cache=True)
+        digests[scheme] = off
+        bad = [key for key in _PARITY_KEYS if off[key] != on[key]]
+        if bad:
+            divergences[scheme] = bad
+    return CacheParityResult(seed=seed, schemes=schemes,
+                             ok=not divergences, divergences=divergences,
+                             digests=digests)
+
+
+def run_cache_parity_corpus(seeds: range | list[int],
+                            schemes: tuple[str, ...] = CONFORMANCE_SCHEMES,
+                            steps: int = 14,
+                            tenants: int = 2) -> list[CacheParityResult]:
+    """Check cache-on/cache-off parity for every seed."""
+    image = shared_image()
+    return [check_cache_parity(seed, schemes=schemes, steps=steps,
+                               tenants=tenants, image=image)
+            for seed in seeds]
 
 
 def minimize_divergence(trace: list[TraceStep],

@@ -267,8 +267,9 @@ class Tenant:
     counter: int = 0
 
 
-def boot_tenants(config: ServeConfig,
-                 image=None) -> tuple[MiniKernel, list[Tenant]]:
+def boot_tenants(config: ServeConfig, image=None, *,
+                 block_cache: bool | None = None,
+                 ) -> tuple[MiniKernel, list[Tenant]]:
     """Boot one kernel with ``config.tenants`` cgroup-backed processes,
     run the offline profiling pass, arm the scheme, and run each
     tenant's server setup under the armed policy.
@@ -279,6 +280,8 @@ def boot_tenants(config: ServeConfig,
     own installed ISV).
     """
     kernel = MiniKernel(image=shared_image() if image is None else image)
+    if block_cache is not None:
+        kernel.pipeline.config.enable_block_cache = block_cache
     flavor = perspective_flavor(config.scheme)
     procs: list[tuple[int, Process, RequestProfile]] = []
     for index in range(config.tenants):
@@ -431,9 +434,18 @@ class RunToCompletionScheduler:
             self.makespan = self.free_at
 
 
-def run_serve(config: ServeConfig, image=None) -> ServeReport:
-    """Run the full open-loop simulation; returns the per-tenant report."""
-    kernel, tenants = boot_tenants(config, image=image)
+def run_serve(config: ServeConfig, image=None, *,
+              block_cache: bool | None = None) -> ServeReport:
+    """Run the full open-loop simulation; returns the per-tenant report.
+
+    ``block_cache`` forces the pipeline's block-trace memoization on or
+    off for the whole cell (boot included); ``None`` keeps the pipeline
+    default.  Not part of :class:`ServeConfig` because replay is
+    byte-exact: the report is identical either way, only wall time
+    changes (the block-JIT benchmark relies on exactly that).
+    """
+    kernel, tenants = boot_tenants(config, image=image,
+                                   block_cache=block_cache)
     schedule = arrival_schedule(config.seed, config.tenants,
                                 config.requests_per_tenant,
                                 config.mean_interarrival)

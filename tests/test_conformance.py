@@ -13,6 +13,7 @@ from repro.serve.conformance import (
     CONFORMANCE_SCHEMES,
     ConformanceResult,
     TraceStep,
+    check_cache_parity,
     check_seed,
     generate_trace,
     minimize_divergence,
@@ -169,3 +170,22 @@ class TestCorpus:
         single = check_seed(3, image=image)
         assert single.ok
         assert single.seed == 3
+
+
+class TestCacheParity:
+    """The block-JIT oracle: memoized replay must match interpretation
+    in **every** digest key, cycles included (the CI job runs the full
+    20-seed x 6-scheme corpus; tier-1 spot-checks one seed)."""
+
+    def test_replay_matches_interpretation_exactly(self, image):
+        result = check_cache_parity(
+            0, schemes=("unsafe", "perspective"), image=image)
+        assert result.ok, result.repro()
+        assert set(result.digests) == {"unsafe", "perspective"}
+
+    def test_repro_recipe_names_the_flag(self):
+        from repro.serve.conformance import CacheParityResult
+        bad = CacheParityResult(seed=4, schemes=("unsafe",), ok=False,
+                                divergences={"unsafe": ["cycles"]})
+        assert "--cache-parity" in bad.repro()
+        assert "--seeds 4" in bad.repro()

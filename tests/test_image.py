@@ -159,3 +159,47 @@ class TestCallGraphMetadata:
         graph = image.direct_call_graph()
         assert set(graph) == set(image.info)
         assert graph["sys_read"] == image.info["sys_read"].callees
+
+
+class TestSharedImageCache:
+    """The process-wide image cache must be explicitly keyed: the old
+    ``lru_cache(maxsize=2)`` regenerated images when 3+ seeds interleaved,
+    so "shared" instances silently diverged between holders (and between
+    ``repro.exec`` workers and serial runs)."""
+
+    @staticmethod
+    def _digest(image: KernelImage) -> str:
+        import hashlib
+        hasher = hashlib.sha256()
+        for func in image.layout.functions():
+            hasher.update(func.name.encode())
+            for op in func.body:
+                hasher.update(repr((op.op, op.dst, op.src1, op.src2,
+                                    op.imm, op.target, op.callee,
+                                    op.alu_op, op.tag)).encode())
+        return hasher.hexdigest()
+
+    def test_interleaved_seeds_round_trip_byte_identical(self):
+        from repro.kernel.image import clear_shared_images, shared_image
+        clear_shared_images()
+        try:
+            first = {seed: shared_image(seed) for seed in (0, 1, 2)}
+            digests = {seed: self._digest(img)
+                       for seed, img in first.items()}
+            # Interleave enough distinct seeds to have overflowed the old
+            # two-entry LRU, then revisit: same object, same bytes.
+            for seed in (2, 0, 1, 2, 1, 0):
+                again = shared_image(seed)
+                assert again is first[seed], \
+                    f"seed {seed} was evicted and regenerated"
+                assert self._digest(again) == digests[seed]
+        finally:
+            clear_shared_images()
+
+    def test_clear_resets_instances(self):
+        from repro.kernel.image import clear_shared_images, shared_image
+        one = shared_image(0)
+        clear_shared_images()
+        two = shared_image(0)
+        assert one is not two
+        assert self._digest(one) == self._digest(two)

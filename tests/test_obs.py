@@ -481,6 +481,47 @@ class TestCampaignCounters:
                                     collect_metrics=True)
         assert plain.header() == collecting.header()
 
+    def test_campaign_metrics_survive_kill_resume_without_double_count(
+            self, tmp_path):
+        """The persisted sidecar must be cumulative and idempotent: an
+        interrupted campaign's shards survive the resume, the resumed
+        experiments are added exactly once, and resuming a finished
+        campaign does not clobber (or re-merge) anything."""
+        from repro.reliability.campaign import (
+            METRICS_NAME, CampaignConfig, CampaignRunner)
+        config = CampaignConfig(fast=True, isolate=False,
+                                experiments=("surface", "security"),
+                                collect_metrics=True)
+        path = tmp_path / METRICS_NAME
+
+        # Reference: one uninterrupted run.
+        reference = CampaignRunner(tmp_path / "ref", config).run()
+        assert reference.done == {"surface", "security"}
+        ref_snap = json.loads(
+            (tmp_path / "ref" / METRICS_NAME).read_text())
+
+        # Killed after the first experiment; the resume uses a *fresh*
+        # runner, as a restarted process would.
+        first = CampaignRunner(tmp_path, config).run(stop_after=1)
+        assert first.interrupted
+        partial = json.loads(path.read_text())
+        resumed = CampaignRunner(tmp_path, config).run()
+        assert resumed.done == {"surface", "security"}
+        combined = json.loads(path.read_text())
+
+        # The interrupted shard was not lost, and nothing was counted
+        # twice: the kill/resume cycle converges on the uninterrupted
+        # run's counters exactly.
+        assert combined["counters"] == ref_snap["counters"]
+        assert combined["counters"]["pipeline.runs"] > \
+            partial["counters"]["pipeline.runs"]
+
+        # Resuming a finished campaign is a no-op, not an empty
+        # overwrite and not a re-merge.
+        CampaignRunner(tmp_path, config).run()
+        assert json.loads(path.read_text())["counters"] == \
+            combined["counters"]
+
     def test_campaign_metrics_with_subprocess_isolation(self, tmp_path):
         from repro.reliability.campaign import (
             METRICS_NAME, CampaignConfig, CampaignRunner)

@@ -103,10 +103,10 @@ class TestViewMemoEpoch:
 
 
 class TestDecodeInvalidationThroughPipeline:
-    """The pipeline consumes ``Function.decoded()`` tables; an in-place
-    same-length body mutation is invisible to the staleness key, so the
-    mutator must call ``invalidate_decode()`` for the pipeline to execute
-    the new body (the decode-table contract)."""
+    """The pipeline consumes ``Function.decoded()`` tables; bodies are
+    version-tracked (``BodyList``), so both explicit
+    ``invalidate_decode()`` calls and direct in-place mutation bump the
+    staleness key and force a re-decode (the decode-table contract)."""
 
     def _build(self, imm: int) -> tuple[Pipeline, Function]:
         layout = CodeLayout(0x40000, stride_ops=64)
@@ -128,21 +128,23 @@ class TestDecodeInvalidationThroughPipeline:
         fn.invalidate_decode()
         assert self._run(pipeline, fn) == 41
 
-    def test_mutation_without_invalidate_keeps_stale_tables(self):
-        # Documents the contract's sharp edge: a same-length in-place
-        # mutation is invisible to the (len(body), base_va) staleness
-        # key, so the pipeline keeps consuming the old decode tables
-        # (read sets, line addresses) until someone invalidates.  If
-        # staleness detection ever starts hashing bodies, this test
-        # should flip -- and be updated deliberately.
+    def test_mutation_without_invalidate_refreshes_tables(self):
+        # This used to document the contract's sharp edge: a same-length
+        # in-place mutation was invisible to the (len(body), base_va)
+        # staleness key, so the pipeline kept consuming stale decode
+        # tables until someone invalidated.  Bodies are now wrapped in a
+        # version-tracked ``BodyList``, so the mutation itself bumps the
+        # staleness key and the next ``decoded()`` re-decodes -- the old
+        # silent-staleness hazard is gone.
         pipeline, fn = self._build(10)
         self._run(pipeline, fn)
         stale = fn.decoded()
+        assert stale.reads[1] == ("r1",)
         fn.body[1] = alu("r2", AluOp.ADD, "r1", "r3")  # now reads r3 too
-        assert fn.decoded() is stale
-        assert stale.reads[1] == ("r1",), \
-            "dependency table must still describe the old body"
-        fn.invalidate_decode()
         fresh = fn.decoded()
         assert fresh is not stale
-        assert fresh.reads[1] == ("r1", "r3")
+        assert fresh.reads[1] == ("r1", "r3"), \
+            "in-place mutation must be visible without invalidate_decode()"
+        # An explicit invalidate_decode() still works and stays cheap.
+        fn.invalidate_decode()
+        assert fn.decoded().reads[1] == ("r1", "r3")
