@@ -161,20 +161,28 @@ class AdaptiveIsvController:
     def flavor(self) -> str:
         return ESCALATION_LADDER[self.level]
 
-    def observe(self, events: list[SecurityEvent]) -> EscalationDecision:
+    def observe(self, events: list[SecurityEvent],
+                alerts: tuple = ()) -> EscalationDecision:
         """Digest one epoch's journal slice; returns the decision.
 
         Only events of the controller's ``kinds`` attributed to its
-        ``context`` count.  Evidence tallies are order-independent (the
-        slice may arrive in any permutation), so the decision -- and the
-        exclusion set -- is invariant under journal-event reordering.
+        ``context`` count.  ``alerts`` is a second evidence source: SLO
+        burn-rate alerts (:class:`repro.obs.slo.SloAlert`) whose
+        ``context`` matches the controller's each count as one evidence
+        unit alongside the journal events, so a blocked-leak-rate alert
+        can trigger escalation even when the raw event slice alone is
+        under ``min_events``.  Evidence tallies are order-independent
+        (the slice -- and the alert list -- may arrive in any
+        permutation), so the decision and the exclusion set are
+        invariant under reordering of either source.
         """
         evidence = [e for e in events
                     if e.kind in self.kinds and e.context == self.context]
+        alert_evidence = [a for a in alerts if a.context == self.context]
         implicated = frozenset(e.kernel_fn for e in evidence
                                if e.kernel_fn)
         from_flavor = self.flavor
-        if len(evidence) >= self.min_events:
+        if len(evidence) + len(alert_evidence) >= self.min_events:
             self.exclusions |= implicated
             self.clean_epochs = 0
             if self.probing:
@@ -188,7 +196,8 @@ class AdaptiveIsvController:
                     + self._rng.randrange(2))
             if self.level < len(ESCALATION_LADDER) - 1:
                 self.level += 1
-                action, reason = "escalate", "leak-evidence"
+                action = "escalate"
+                reason = "leak-evidence" if evidence else "slo-alert"
             else:
                 action, reason = "hold", "at-ladder-top"
         else:
@@ -204,7 +213,7 @@ class AdaptiveIsvController:
         decision = EscalationDecision(
             context=self.context, action=action,
             from_flavor=from_flavor, to_flavor=self.flavor,
-            evidence=len(evidence),
+            evidence=len(evidence) + len(alert_evidence),
             implicated=tuple(sorted(implicated)), reason=reason)
         self.history.append(decision)
         return decision

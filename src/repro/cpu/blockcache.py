@@ -66,17 +66,25 @@ Compiled code is keyed on body content: the decode-table staleness key
 body is mutated, re-placed, or ``invalidate_decode()`` is called.
 Memoized *blocks* are additionally armed per-block on a
 speculation-environment epoch -- (policy generation, ISV/DSV view epoch,
-fault-plane arming generation, journal presence).  When any component
+fault-plane arming generation, journal presence).  A freshly compiled
+region's token slots hold the :data:`COLD` sentinel, so each block's
+first execution re-interprets once (a *cold* miss, tiered-JIT style)
+before its slot is armed with the live token.  When any epoch component
 changes (``install_isv``/``shrink_isv`` bump the view epoch,
 ``faultplane.inject`` bumps the arming generation, ``set_policy`` bumps
-the policy generation), the next execution of *each* block re-interprets
-once (counted as an invalidation + miss) before that block's token slot
-is re-armed.
+the policy generation), the next execution of *each* armed block
+re-interprets once (an *epoch-invalidation* miss, also counted in
+``invalidations``) before that block's token slot is re-armed.
 
-Counter conservation: ``hits + misses == block executions`` -- every
-time control reaches a leader whose block is compiled, exactly one of
-the two counters is bumped (in-region replays count hits; guard or
-token stops hand the block back to the interpreter and count one miss).
+Counter conservation: ``hits + misses == block executions +
+uncompilable-function entries`` -- every time control reaches a leader
+whose block is compiled, exactly one of the two counters is bumped
+(in-region replays count hits; guard or token stops hand the block back
+to the interpreter and count one miss), and entering a function with no
+compilable blocks while the cache is armed counts one *uncompilable*
+miss.  Misses are further split by reason (:data:`MISS_REASONS`) with
+``sum(miss_reasons.values()) == misses``; the pipeline attributes them
+per tenant x scheme x kernel function for the serve dashboard.
 """
 
 from __future__ import annotations
@@ -102,8 +110,28 @@ _U64 = (1 << 64) - 1
 
 #: Region stop codes (the last element of a region's return tuple).
 STOP_EXIT = 0    # reached an op the region does not compile
-STOP_GUARD = 1   # replay guard failed (speculation window or op budget)
-STOP_STALE = 2   # the block's epoch token slot is stale
+STOP_GUARD = 1   # replay guard failed (speculation window)
+STOP_STALE = 2   # the block's epoch token slot is stale (or cold)
+STOP_BUDGET = 3  # remaining max_ops budget too small for the block
+
+#: Token slots of a freshly compiled region are armed with this
+#: sentinel: each block's *first* arrival token-mismatches and
+#: re-interprets once (a "cold" miss, tiered-JIT style) before
+#: :meth:`CompiledRegion.arm` installs the live epoch token.  The run
+#: loop distinguishes cold misses from epoch invalidations by checking
+#: the slot for this sentinel before re-arming.
+COLD = object()
+
+#: Miss-reason taxonomy (attribution keys used by the pipeline):
+#: ``cold`` (first arrival of a compiled block), ``spec-guard``
+#: (in-flight speculation refused load replay), ``op-budget``
+#: (remaining committed-op budget smaller than the block),
+#: ``epoch-invalidation`` (policy/view/fault/journal epoch bumped) and
+#: ``uncompilable`` (run entry / CALL / ICALL / IJMP into a function
+#: with no compilable blocks while the cache was armed; returns into a
+#: caller are not re-counted).
+MISS_REASONS = ("cold", "spec-guard", "op-budget", "epoch-invalidation",
+                "uncompilable")
 
 
 def run_epoch(pipeline) -> tuple:
@@ -427,7 +455,7 @@ def _emit_segment(body: list[MicroOp], dec: DecodedBody, start: int,
     emit(f"_stop = {STOP_STALE}", 2)
     emit("break", 2)
     emit(f"if _rem < {n_ops}:", 1)
-    emit(f"_stop = {STOP_GUARD}", 2)
+    emit(f"_stop = {STOP_BUDGET}", 2)
     emit("break", 2)
     if has_loads:
         emit("if not _fr and unresolved and max(unresolved) > clock:", 1)
@@ -734,16 +762,17 @@ class CompiledRegion:
 
     __slots__ = ("fn", "tokens", "slot_of", "digest", "n_blocks")
 
-    def __init__(self, fn, leaders: list[int], token,
-                 digest: str) -> None:
+    def __init__(self, fn, leaders: list[int], digest: str) -> None:
         self.fn = fn
-        self.tokens = [token] * len(leaders)
+        # Armed COLD: every block's first arrival re-interprets once
+        # (a cold miss) before arm() installs the live epoch token.
+        self.tokens = [COLD] * len(leaders)
         self.slot_of = {leader: slot for slot, leader in enumerate(leaders)}
         self.digest = digest
         self.n_blocks = len(leaders)
 
     def arm(self, leader: int, token) -> None:
-        """Re-arm one block's slot after its post-invalidation
+        """Re-arm one block's slot after its cold or post-invalidation
         re-interpretation."""
         self.tokens[self.slot_of[leader]] = token
 
@@ -785,6 +814,10 @@ class BlockCache:
         self.invalidations = 0
         self.compiled_blocks = 0
         self.compiled_functions = 0
+        #: Misses split by :data:`MISS_REASONS` key; the pipeline run
+        #: loop accumulates per-run dicts into this (conservation:
+        #: ``sum(miss_reasons.values()) == misses``).
+        self.miss_reasons: dict[str, int] = {}
 
     # -- epoch / config validity ---------------------------------------
 
@@ -906,7 +939,7 @@ class BlockCache:
             source = cached[1]
         digest, fn = self._bind(source)
         leaders = [start for start, _end, _term in spans]
-        region = CompiledRegion(fn, leaders, self._token, digest)
+        region = CompiledRegion(fn, leaders, digest)
         self.compiled_blocks += len(leaders)
         self.compiled_functions += 1
         return {leader: region for leader in leaders}

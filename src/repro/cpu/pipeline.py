@@ -31,13 +31,14 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
-from repro.cpu.blockcache import BlockCache, run_epoch
+from repro.cpu.blockcache import COLD, BlockCache, run_epoch
 from repro.cpu.branch import BranchUnit
 from repro.cpu.cache import CacheHierarchy
 from repro.cpu.isa import AluOp, CodeLayout, Function, MicroOp, Op, OP_SIZE
 from repro.cpu.memsys import AddressSpace, MainMemory, PageFault, TLB
 from repro.obs import events as ev
 from repro.obs import registry as obs
+from repro.obs import reqtrace as rt
 
 
 @dataclass
@@ -339,6 +340,8 @@ class Pipeline:
         bc = None
         bc_token = None
         bc_hits = bc_misses = bc_invalidations = 0
+        #: Lazily-allocated per-run miss attribution: (reason, fn) -> n.
+        bc_attr = None
         fast_replay = False
         stt_delays = False
         #: Side-effect-free direct-map window for compiled blocks, read
@@ -361,6 +364,9 @@ class Pipeline:
                 and ev.active_journal() is None
             stt_delays = self.policy.delays_tainted_branch_resolution()
             blocks = bc.index_for(func)
+            if not blocks:
+                bc_misses += 1
+                bc_attr = {("uncompilable", func.name): 1}
         max_commit = cfg.max_committed_ops
 
         while True:
@@ -380,13 +386,28 @@ class Pipeline:
                     max_commit, reg.tokens, bc_token)
                 bc_hits += replayed
                 if stop == 2:
-                    # Speculation environment changed since this block was
-                    # memoized: re-interpret once below, then re-arm.
-                    bc_invalidations += 1
+                    # Token mismatch: either the block's first-ever
+                    # arrival (slot still holds the COLD sentinel) or the
+                    # speculation environment changed since it was
+                    # memoized.  Re-interpret once below, then re-arm.
+                    slot = reg.slot_of[idx]
+                    if reg.tokens[slot] is COLD:
+                        reason = "cold"
+                    else:
+                        reason = "epoch-invalidation"
+                        bc_invalidations += 1
                     bc_misses += 1
-                    reg.arm(idx, bc_token)
-                elif stop == 1:
+                    reg.tokens[slot] = bc_token
+                elif stop:  # STOP_GUARD or STOP_BUDGET
                     bc_misses += 1
+                    reason = "spec-guard" if stop == 1 else "op-budget"
+                else:
+                    reason = None
+                if reason is not None:
+                    if bc_attr is None:
+                        bc_attr = {}
+                    key = (reason, func.name)
+                    bc_attr[key] = bc_attr.get(key, 0) + 1
             if idx >= len(body):
                 # Fall off the end of a function: implicit return.
                 op = _IMPLICIT_RET
@@ -491,6 +512,12 @@ class Pipeline:
                 dec = callee.decoded()
                 if bc is not None:
                     blocks = bc.index_for(func)
+                    if not blocks:
+                        bc_misses += 1
+                        if bc_attr is None:
+                            bc_attr = {}
+                        key = ("uncompilable", func.name)
+                        bc_attr[key] = bc_attr.get(key, 0) + 1
                 last_fetch_line = -1
                 rob.append(clock)
                 if trace is not None:
@@ -508,6 +535,12 @@ class Pipeline:
                 dec = new_func.decoded()
                 if bc is not None:
                     blocks = bc.index_for(func)
+                    if not blocks:
+                        bc_misses += 1
+                        if bc_attr is None:
+                            bc_attr = {}
+                        key = ("uncompilable", func.name)
+                        bc_attr[key] = bc_attr.get(key, 0) + 1
                 last_fetch_line = -1
                 rob.append(clock)
                 if trace is not None:
@@ -577,11 +610,25 @@ class Pipeline:
             bc.hits += bc_hits
             bc.misses += bc_misses
             bc.invalidations += bc_invalidations
+            if bc_attr is not None:
+                reasons = bc.miss_reasons
+                for (reason, _fn), count in bc_attr.items():
+                    reasons[reason] = reasons.get(reason, 0) + count
         registry = obs.active_registry()
         if registry is not None:
             self._publish_run(registry, entry_name, result,
                               fetch_lines + facc[0], fetch_stall + facc[1],
-                              bc, bc_hits, bc_misses, bc_invalidations)
+                              bc, bc_hits, bc_misses, bc_invalidations,
+                              bc_attr, context)
+        if rt._ACTIVE is not None:
+            bc_miss: dict[str, int] = {}
+            if bc_attr is not None:
+                for (reason, _fn), count in bc_attr.items():
+                    bc_miss[reason] = bc_miss.get(reason, 0) + count
+            rt.step("pipeline", entry_name, result.cycles,
+                    fetch_stall=fetch_stall + facc[1],
+                    fence_stall=result.fence_stall_cycles,
+                    bc_hits=bc_hits, bc_miss=bc_miss)
         # Keep journal cycle stamps monotonic across runs: the next run's
         # events land after everything this run emitted.
         ev.advance(result.cycles)
@@ -590,7 +637,8 @@ class Pipeline:
     def _publish_run(self, registry, entry_name: str, result: ExecResult,
                      fetch_lines: int, fetch_stall: float,
                      bc=None, bc_hits: int = 0, bc_misses: int = 0,
-                     bc_invalidations: int = 0) -> None:
+                     bc_invalidations: int = 0, bc_attr=None,
+                     context=None) -> None:
         """Publish one run's speculation statistics to the obs plane.
 
         Deferred to run completion so the hot loop pays nothing beyond
@@ -625,6 +673,19 @@ class Pipeline:
                          bc_invalidations)
             registry.gauge("pipeline.blockcache.compiled_blocks",
                            bc.compiled_blocks)
+            if bc_attr:
+                # Miss attribution: per-reason totals plus tenant x
+                # scheme x kernel-function counters for the dashboard.
+                # Conservation: the per-reason counters sum to
+                # pipeline.blockcache.misses.
+                ctx = context.context_id if context is not None else 0
+                scheme = self.policy.name
+                for (reason, fn), count in bc_attr.items():
+                    registry.add(f"pipeline.blockcache.miss.{reason}",
+                                 count)
+                    registry.add(
+                        "pipeline.blockcache.attr."
+                        f"c{ctx}.{scheme}.{fn}.{reason}", count)
         for reason, count in result.fenced_loads.items():
             registry.add(f"pipeline.fence.reason.{reason}", count)
         total_fenced = result.total_fenced

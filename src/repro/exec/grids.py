@@ -319,7 +319,11 @@ def _slab_assemble(params: dict[str, Any], payloads: dict[Key, Any],
 def _serve_cells(params: dict[str, Any]) -> CellList:
     config_keys = ("scheme", "requests_per_tenant", "mean_interarrival",
                    "queue_bound", "profiles", "rare_every",
-                   "profile_requests")
+                   "profile_requests",
+                   # Observation-only extras (repro.serve.engine
+                   # serve_cell): the report bytes are identical with or
+                   # without them.
+                   "block_cache", "trace", "slo_window")
     base = {k: params[k] for k in config_keys if k in params}
     return [((str(seed), str(tenants)),
              {**base, "seed": seed, "tenants": tenants,
@@ -339,6 +343,8 @@ def _serve_assemble(params: dict[str, Any],
     cell order, so the merged snapshot is worker-count invariant."""
     cells = []
     merged = None
+    traces = None
+    rollup = None
     for seed in params["seeds"]:
         for tenants in params["tenants"]:
             cell = dict(payloads[(str(seed), str(tenants))])
@@ -349,10 +355,28 @@ def _serve_assemble(params: dict[str, Any],
                     merged = part
                 else:
                     merged.merge(part)
+            if params.get("trace"):
+                from repro.obs.reqtrace import TraceRecorder
+                part_tr = TraceRecorder.from_snapshot(cell.pop("traces"))
+                if traces is None:
+                    traces = part_tr
+                else:
+                    traces.merge(part_tr)
+            if params.get("slo_window"):
+                from repro.obs.slo import SloRollup
+                part_slo = SloRollup.from_snapshot(cell.pop("slo"))
+                if rollup is None:
+                    rollup = part_slo
+                else:
+                    rollup.merge(part_slo)
             cells.append(cell)
     out: dict[str, Any] = {"cells": cells}
     if merged is not None:
         out["metrics"] = merged.snapshot()
+    if traces is not None:
+        out["traces"] = traces.snapshot()
+    if rollup is not None:
+        out["slo"] = rollup.snapshot()
     return out
 
 
@@ -366,7 +390,7 @@ def _campaign_cells(params: dict[str, Any]) -> CellList:
                  "requests_per_epoch", "mean_interarrival", "queue_bound",
                  "profiles", "rare_every", "profile_requests",
                  "secret_hex", "min_events", "probe_after_clean",
-                 "slo_factor")
+                 "slo_factor", "slo_window_cycles", "slo_alert_evidence")
     base = {k: params[k] for k in spec_keys if k in params}
     return [((str(seed), scenario),
              {**base, "seed": seed, "scenario": scenario,

@@ -58,6 +58,7 @@ from repro.kernel.seccomp import Action, SeccompFilter, SeccompViolation
 from repro.kernel.slab import SecureSlabAllocator, SlabAllocator
 from repro.kernel.tracing import KernelTracer
 from repro.obs import events as ev
+from repro.obs import reqtrace as rt
 from repro.reliability.faultplane import fire
 
 #: Frame holding the global kernel data page ("unknown" memory: it belongs
@@ -312,6 +313,10 @@ class MiniKernel:
             address_space=proc.aspace, initial_regs=regs)
         exec_result = self.pipeline.run(spec.entry, context,
                                         charge_kernel_entry=True)
+        # Request tracing: the kernel-function step on the open request
+        # (free when no recorder/request is active).
+        rt.step("kernel_fn", spec.entry, exec_result.cycles,
+                context=ctx_id, scheme=self.pipeline.policy.name)
         result = SyscallResult(syscall=name, retval=retval,
                                exec_result=exec_result)
         self.kernel_cycles_total += result.cycles

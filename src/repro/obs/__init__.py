@@ -12,12 +12,22 @@ On top of the metrics plane sits the forensics/attribution layer:
 
 * :mod:`repro.obs.events` -- the cycle-stamped security-event journal
   (:class:`EventJournal`, scoped with :func:`journaling`);
+* :mod:`repro.obs.reqtrace` -- request-scoped tracing for the serve
+  plane (:class:`TraceRecorder`, scoped with :func:`tracing`), with
+  histogram-bucket exemplar links and per-request Chrome-trace/folded
+  exports;
+* :mod:`repro.obs.slo` -- windowed SLO rollups and deterministic
+  multi-window burn-rate alerts (:class:`SloRollup`, scoped with
+  :func:`collecting`);
 * :mod:`repro.obs.profile` -- the differential fence-overhead profiler
   and the folded-stack / Chrome-trace exporters;
+* :mod:`repro.obs.dashboard` -- the serve-plane SLO / block-JIT
+  miss-attribution dashboard (``python -m repro.obs top`` / ``report``);
 * :mod:`repro.obs.diffgate` -- the metric regression gate CI runs.
 
 See ``python -m repro.obs --help`` for the CLI (snapshot matrix plus the
-``events`` / ``profile`` / ``diff`` subcommands).
+``events`` / ``profile`` / ``diff`` / ``top`` / ``report``
+subcommands).
 """
 
 from repro.obs.collect import (
@@ -31,6 +41,14 @@ from repro.obs.collect import (
 from repro.obs.diffgate import DiffReport, ToleranceRule, diff_snapshots
 from repro.obs.events import EventJournal, SecurityEvent, journaling
 from repro.obs.profile import DiffProfile, ProfileRun, SpanTree
+from repro.obs.reqtrace import RequestTrace, TraceRecorder, trace_id, tracing
+from repro.obs.slo import (
+    SloAlert,
+    SloObjective,
+    SloRollup,
+    SloWindow,
+    collecting,
+)
 from repro.obs.registry import (
     DEFAULT_CYCLE_BUCKETS,
     Histogram,
@@ -53,12 +71,19 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "ProfileRun",
+    "RequestTrace",
     "SecurityEvent",
+    "SloAlert",
+    "SloObjective",
+    "SloRollup",
+    "SloWindow",
     "SpanStats",
     "SpanTree",
     "ToleranceRule",
+    "TraceRecorder",
     "active_registry",
     "add",
+    "collecting",
     "collect_branch_unit",
     "collect_cache_hierarchy",
     "collect_env",
@@ -72,4 +97,6 @@ __all__ = [
     "observing",
     "span",
     "tick",
+    "trace_id",
+    "tracing",
 ]

@@ -19,9 +19,16 @@ Forensics subcommands::
 
     python -m repro.obs events --attack spectre-rsb-passive \\
         --scheme perspective --jsonl run.jsonl
+    python -m repro.obs events --input run.jsonl --tenant 2 \\
+        --since-cycle 1e4 --until-cycle 5e4   # filter a saved journal
     python -m repro.obs profile --workload lebench \\
         --base unsafe --scheme perspective -o outdir/
     python -m repro.obs diff baseline.json current.json  # exit 1 on drift
+
+Serve-plane dashboard (SLO state + block-JIT miss attribution)::
+
+    python -m repro.obs top                   # terminal dashboard
+    python -m repro.obs report -o model.json --artifacts outdir/
 """
 
 from __future__ import annotations
@@ -88,19 +95,41 @@ def run_workload_matrix(workloads: tuple[str, ...] = DEFAULT_WORKLOADS,
 
 
 def _events_command(args: argparse.Namespace) -> int:
-    """Journal one PoC attack run and print the forensics digest."""
-    from repro.attacks.harness import ATTACKS, run_attack
+    """Journal one PoC attack run (or load a saved JSONL journal) and
+    print the forensics digest, optionally narrowed by tenant/cycle."""
     from repro.obs.events import EventJournal
 
-    if args.attack not in ATTACKS:
-        print(f"unknown attack {args.attack!r}; one of "
-              f"{', '.join(sorted(ATTACKS))}", file=sys.stderr)
-        return 2
-    journal = EventJournal(capacity=args.capacity, meta={
-        "attack": args.attack, "scheme": args.scheme})
-    result = run_attack(args.attack, args.scheme, journal=journal)
+    if args.input:
+        journal = EventJournal.from_jsonl(
+            pathlib.Path(args.input).read_text(),
+            capacity=args.capacity, meta={"source": args.input})
+        result = None
+    else:
+        from repro.attacks.harness import ATTACKS, run_attack
+        if args.attack not in ATTACKS:
+            print(f"unknown attack {args.attack!r}; one of "
+                  f"{', '.join(sorted(ATTACKS))}", file=sys.stderr)
+            return 2
+        journal = EventJournal(capacity=args.capacity, meta={
+            "attack": args.attack, "scheme": args.scheme})
+        result = run_attack(args.attack, args.scheme, journal=journal)
+    if (args.tenant is not None or args.since_cycle is not None
+            or args.until_cycle is not None):
+        filtered = journal.query(context=args.tenant,
+                                 since=args.since_cycle,
+                                 until=args.until_cycle)
+        meta = dict(journal.meta)
+        for key, value in (("tenant", args.tenant),
+                           ("since_cycle", args.since_cycle),
+                           ("until_cycle", args.until_cycle)):
+            if value is not None:
+                meta[f"filter.{key}"] = value
+        journal = EventJournal.from_events(filtered,
+                                           capacity=args.capacity,
+                                           meta=meta)
     print(journal.summary())
-    print(f"attack outcome: leaked={result.leaked!r}")
+    if result is not None:
+        print(f"attack outcome: leaked={result.leaked!r}")
     if args.jsonl:
         pathlib.Path(args.jsonl).write_text(journal.to_jsonl())
         print(f"journal written to {args.jsonl}", file=sys.stderr)
@@ -146,12 +175,22 @@ def _subcommand_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     events = sub.add_parser(
-        "events", help="journal a PoC attack run's security events")
+        "events", help="journal a PoC attack run's security events "
+                       "(or filter a saved JSONL journal)")
     events.add_argument("--attack", default="spectre-rsb-passive")
     events.add_argument("--scheme", default="perspective")
     events.add_argument("--capacity", type=int, default=65_536)
     events.add_argument("--jsonl", metavar="FILE",
                         help="write the journal as JSON lines")
+    events.add_argument("--input", metavar="FILE",
+                        help="load a saved JSONL journal instead of "
+                             "running an attack")
+    events.add_argument("--tenant", type=int, default=None,
+                        help="keep only events of this context/tenant id")
+    events.add_argument("--since-cycle", type=float, default=None,
+                        help="keep only events at/after this cycle stamp")
+    events.add_argument("--until-cycle", type=float, default=None,
+                        help="keep only events at/before this cycle stamp")
 
     profile = sub.add_parser(
         "profile", help="diff one workload under two schemes")
@@ -176,11 +215,57 @@ def _subcommand_parser() -> argparse.ArgumentParser:
                       help="JSON tolerance rules (default: exact match)")
     diff.add_argument("--ignore-added", action="store_true",
                       help="new metrics are not findings")
+
+    top = sub.add_parser(
+        "top", help="serve-plane dashboard: SLO state, burn-rate "
+                    "alerts, block-JIT miss attribution")
+    report = sub.add_parser(
+        "report", help="write the dashboard model JSON, HTML, and "
+                       "per-request trace exports")
+    for cmd in (top, report):
+        cmd.add_argument("--workers", type=int, default=1,
+                         help="parallel grid workers (same bytes "
+                              "either way)")
+        cmd.add_argument("--no-cache", action="store_true",
+                         help="bypass the repro.exec result cache")
+    report.add_argument("-o", "--out", metavar="FILE",
+                        help="write the dashboard model JSON to FILE")
+    report.add_argument("--artifacts", metavar="DIR",
+                        help="write dashboard.html and per-request "
+                             "Chrome-trace/folded exports to DIR")
     return parser
 
 
+def _top_command(args: argparse.Namespace) -> int:
+    from repro.obs.dashboard import render_text, run_smoke
+
+    model, _traces = run_smoke(workers=args.workers,
+                               use_cache=not args.no_cache)
+    print(render_text(model), end="")
+    return 0
+
+
+def _report_command(args: argparse.Namespace) -> int:
+    from repro.obs.dashboard import model_to_json, run_smoke, write_report
+
+    model, traces = run_smoke(workers=args.workers,
+                              use_cache=not args.no_cache)
+    rendered = model_to_json(model)
+    if args.out:
+        pathlib.Path(args.out).write_text(rendered)
+        print(f"model written to {args.out}", file=sys.stderr)
+    else:
+        print(rendered, end="")
+    if args.artifacts:
+        written = write_report(args.artifacts, model, traces)
+        print(f"{len(written)} artifacts written to {args.artifacts}",
+              file=sys.stderr)
+    return 0
+
+
 _COMMANDS = {"events": _events_command, "profile": _profile_command,
-             "diff": _diff_command}
+             "diff": _diff_command, "top": _top_command,
+             "report": _report_command}
 
 
 def main(argv: list[str] | None = None) -> int:

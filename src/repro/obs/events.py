@@ -34,6 +34,10 @@ Event kinds emitted by the instrumented modules:
                     Perspective flavor (``reason``: ``from->to``)
 ``policy-deescalate``  a seeded-backoff de-escalation probe relaxed a
                     tenant's flavor (forensic exclusions stay applied)
+``slo-alert``       a windowed burn-rate alert fired
+                    (:mod:`repro.obs.slo`; ``reason``:
+                    ``<objective>:burn=<rate>``, stamped at the end of
+                    the breaching window)
 ==================  =======================================================
 
 Activation mirrors :mod:`repro.obs.registry`: instrumented modules call
@@ -69,6 +73,7 @@ EVENT_KINDS = (
     "fault-fallback",
     "policy-escalate",
     "policy-deescalate",
+    "slo-alert",
 )
 
 DEFAULT_CAPACITY = 65_536
@@ -220,6 +225,33 @@ class EventJournal:
             json.dumps(event.as_dict(), sort_keys=True,
                        separators=(",", ":")) + "\n"
             for event in self.events())
+
+    @classmethod
+    def from_events(cls, events, capacity: int | None = None,
+                    meta: dict[str, Any] | None = None) -> "EventJournal":
+        """Rebuild a journal from existing events (filter results, a
+        parsed JSONL export).  Events keep their original ``seq`` and
+        ``cycle`` stamps -- seq gaps from filtering stay visible --
+        and ``emitted``/``dropped`` reflect the given list only.
+        """
+        events = list(events)
+        if capacity is None:
+            capacity = max(len(events), 1)
+        journal = cls(capacity=capacity, meta=meta)
+        journal._ring = events[-capacity:]
+        journal.emitted = len(events)
+        journal.dropped = len(events) - len(journal._ring)
+        if events:
+            journal._base_cycle = max(e.cycle for e in events)
+        return journal
+
+    @classmethod
+    def from_jsonl(cls, text: str, capacity: int | None = None,
+                   meta: dict[str, Any] | None = None) -> "EventJournal":
+        """Parse a :meth:`to_jsonl` export back into a journal."""
+        events = [SecurityEvent(**json.loads(line))
+                  for line in text.splitlines() if line.strip()]
+        return cls.from_events(events, capacity=capacity, meta=meta)
 
     def summary(self) -> str:
         """Human-readable forensics digest (CLI / report rendering)."""

@@ -57,12 +57,27 @@ def _run_sweep(args: argparse.Namespace) -> int:
 
     params = dict(SMOKE_SWEEP if args.smoke else DEFAULT_SWEEP)
     params["scheme"] = args.scheme
-    result, report = run_experiment(
-        "serve", params, workers=args.workers,
-        use_cache=not args.no_cache)
+    # Replay through the block JIT is byte-exact (cache-parity gate), so
+    # forcing it on changes only the snapshot's blockcache counters --
+    # never the report -- and the smoke gates the miss-reason split.
+    params["block_cache"] = True
+    from repro.obs import observing
+    outer = MetricsRegistry()
+    with observing(outer):
+        result, report = run_experiment(
+            "serve", params, workers=args.workers,
+            use_cache=not args.no_cache)
     print(report.summary(), file=sys.stderr)
 
     registry = MetricsRegistry.from_snapshot(result["metrics"])
+    # Result-cache traffic (repro.exec.cache) is observed in the driver
+    # process, not inside cell registries; fold it into the snapshot so
+    # the committed smoke documents the counters.  Under --no-cache (the
+    # CI invocation) they are deterministic zeros.
+    outer_counters = outer.snapshot()["counters"]
+    for key in ("exec.cache.hits", "exec.cache.misses",
+                "exec.cache.stores"):
+        registry.add(key, outer_counters.get(key, 0))
     registry.meta.update({
         "plane": "repro.serve",
         "sweep": "smoke" if args.smoke else "default",

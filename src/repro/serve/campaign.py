@@ -46,6 +46,7 @@ from repro.kernel.image import SECRET_OFF, shared_image
 from repro.kernel.process import Process
 from repro.obs import events as ev
 from repro.obs import registry as obs
+from repro.obs import slo
 from repro.obs.events import EventJournal, SecurityEvent, journaling
 from repro.reliability.faultplane import FaultPlane, FaultSpec, inject
 from repro.scanner.kasper import scan
@@ -133,6 +134,14 @@ class CampaignSpec:
     #: aggregate p99 is back within ``slo_factor`` of the pre-storm
     #: baseline.
     slo_factor: float = 1.25
+    #: Window width (simulated cycles) of the :class:`repro.obs.slo.
+    #: SloRollup` the campaign maintains across epochs.
+    slo_window_cycles: float = 50_000.0
+    #: When true, per-context SLO burn-rate alerts feed the adaptive
+    #: controllers as evidence alongside journal events (``observe(...,
+    #: alerts=...)``).  Off by default: the committed campaign smoke
+    #: snapshot predates this evidence source.
+    slo_alert_evidence: bool = False
 
     def __post_init__(self) -> None:
         if self.scenario not in CAMPAIGN_SCENARIOS:
@@ -145,6 +154,8 @@ class CampaignSpec:
                 f"{ESCALATION_LADDER}")
         if self.epochs < 1:
             raise ValueError("epochs must be >= 1")
+        if not self.slo_window_cycles > 0.0:
+            raise ValueError("slo_window_cycles must be positive")
         bytes.fromhex(self.secret_hex)  # validate early
 
     def as_dict(self) -> dict[str, Any]:
@@ -163,6 +174,8 @@ class CampaignSpec:
             "min_events": self.min_events,
             "probe_after_clean": self.probe_after_clean,
             "slo_factor": self.slo_factor,
+            "slo_window_cycles": self.slo_window_cycles,
+            "slo_alert_evidence": self.slo_alert_evidence,
         }
 
 
@@ -172,7 +185,7 @@ def spec_from_params(params: dict[str, Any]) -> CampaignSpec:
              "epochs", "requests_per_epoch", "mean_interarrival",
              "queue_bound", "profiles", "rare_every", "profile_requests",
              "secret_hex", "min_events", "probe_after_clean",
-             "slo_factor"}
+             "slo_factor", "slo_window_cycles", "slo_alert_evidence"}
     kwargs = {k: v for k, v in params.items() if k in known}
     for key in ("attackers", "profiles"):
         if key in kwargs:
@@ -290,7 +303,12 @@ def run_campaign(spec: CampaignSpec, image=None) -> dict[str, Any]:
     reports = [TenantReport(tenant=t.index, profile=t.profile.name)
                for t in victims]
     sched = RunToCompletionScheduler(victims, reports,
-                                     queue_bound=spec.queue_bound)
+                                     queue_bound=spec.queue_bound,
+                                     trace_seed=spec.seed)
+    rollup = slo.SloRollup(spec.slo_window_cycles,
+                           latency_buckets=LATENCY_BUCKETS)
+    alert_keys: set[tuple[str, int, int]] = set()
+    alerts_fired: list[slo.SloAlert] = []
     ctx_of_victim = {t.index: t.proc.cgroup.cg_id for t in victims}
     victim_of_ctx = {ctx: idx for idx, ctx in ctx_of_victim.items()}
     attacker_rows = {
@@ -307,8 +325,11 @@ def run_campaign(spec: CampaignSpec, image=None) -> dict[str, Any]:
     seq_mark = 0
     storm_onset: float | None = None
 
-    with journaling(journal):
+    with journaling(journal), slo.collecting(rollup):
         for epoch in range(spec.epochs):
+            # Request traces (when a recorder is ambient) are labeled per
+            # epoch, so (tenant, seq) reuse across epochs stays unique.
+            sched.trace_cell = f"s{spec.seed}.{spec.scenario}.e{epoch}"
             storm = epoch in storm_epochs
             if storm and storm_onset is None:
                 storm_onset = sched.free_at
@@ -364,10 +385,33 @@ def run_campaign(spec: CampaignSpec, image=None) -> dict[str, Any]:
             # order the ring holds it -- the tally is order-free).
             new_events = [e for e in journal.events()
                           if e.seq >= seq_mark]
+            # SLO rollup: blocked-leak events land in their cycle window;
+            # requests/sheds were recorded live by the engine hooks.
+            rollup.ingest_events(new_events)
+            epoch_alerts: list[slo.SloAlert] = []
+            for alert in rollup.evaluate():
+                key = (alert.objective, alert.context, alert.window_index)
+                if key in alert_keys:
+                    continue
+                alert_keys.add(key)
+                epoch_alerts.append(alert)
+                alerts_fired.append(alert)
+                # Journal the alert at its absolute window-end stamp
+                # (emit() adds the running base back in).
+                ev.emit("slo-alert",
+                        cycle=alert.cycle - journal.base_cycle,
+                        context=alert.context,
+                        reason=(f"{alert.objective}"
+                                f":burn={alert.burn_long:.3f}"))
+            new_events = [e for e in journal.events()
+                          if e.seq >= seq_mark]
             seq_mark = journal.emitted
+            controller_alerts = (tuple(epoch_alerts)
+                                 if spec.slo_alert_evidence else ())
             flavors: dict[str, str] = {}
             for ctx in sorted(controllers):
-                decision = controllers[ctx].observe(new_events)
+                decision = controllers[ctx].observe(
+                    new_events, alerts=controller_alerts)
                 if decision.changed:
                     install(ctx)
                     kind = ("policy-escalate"
@@ -407,6 +451,7 @@ def run_campaign(spec: CampaignSpec, image=None) -> dict[str, Any]:
                 "fault_fires": {k: plane.fires[k]
                                 for k in sorted(plane.fires)},
                 "events": _kind_counts(new_events),
+                "slo_alerts": [a.as_dict() for a in epoch_alerts],
                 "attacks": attacks_row})
 
     collect_tenant_stats(victims, reports)
@@ -513,7 +558,11 @@ def run_campaign(spec: CampaignSpec, image=None) -> dict[str, Any]:
             "threshold_p99": threshold,
             "storm_onset_cycle": storm_onset,
             "recovered_epoch": recovered_epoch,
-            "recovery_cycles": recovery_cycles},
+            "recovery_cycles": recovery_cycles,
+            "window_cycles": spec.slo_window_cycles,
+            "alert_evidence": spec.slo_alert_evidence,
+            "alerts": [a.as_dict() for a in alerts_fired],
+            "rollup": rollup.snapshot()},
         "faults": {
             "scenario": spec.scenario,
             "specs": scenario["specs"],

@@ -55,6 +55,8 @@ from repro.kernel.kernel import MiniKernel
 from repro.kernel.process import Process
 from repro.obs import events as ev
 from repro.obs import registry as obs
+from repro.obs import reqtrace as rt
+from repro.obs import slo
 from repro.reliability.faultplane import fire
 from repro.scanner.kasper import scan
 from repro.serve.arrival import Arrival, arrival_schedule, percentile
@@ -346,7 +348,8 @@ class RunToCompletionScheduler:
     """
 
     def __init__(self, tenants: list[Tenant], reports: list[TenantReport],
-                 queue_bound: int = 0) -> None:
+                 queue_bound: int = 0, *, trace_seed: int = 0,
+                 trace_cell: str = "") -> None:
         self.tenants = tenants
         self.reports = reports
         self.queue_bound = queue_bound
@@ -354,11 +357,31 @@ class RunToCompletionScheduler:
         self.free_at = 0.0
         self.current: int | None = None
         self.makespan = 0.0
+        #: Request-trace identity inputs (repro.obs.reqtrace): trace IDs
+        #: derive from (trace_seed, trace_cell, tenant, arrival seq).
+        #: The campaign re-labels trace_cell per epoch.
+        self.trace_seed = trace_seed
+        self.trace_cell = trace_cell
+
+    def _trace_for(self, rec, arr: Arrival):
+        return (rec.lookup(self.trace_seed, self.trace_cell,
+                           arr.tenant, arr.seq)
+                or rec.admit(self.trace_seed, self.trace_cell,
+                             arr.tenant, arr.seq, arr.cycle))
 
     def dispatch(self, arr: Arrival) -> None:
         tenant = self.tenants[arr.tenant]
         report = self.reports[arr.tenant]
         start = max(self.free_at, arr.cycle)
+        rec = rt.active_recorder()
+        trace = None
+        if rec is not None:
+            trace = self._trace_for(rec, arr)
+            rec.open(trace)
+            rec.record("sched", "slice", 0.0,
+                       {"start_cycle": start,
+                        "queue_wait": start - arr.cycle,
+                        "switch": self.current != arr.tenant})
         before_cycles = tenant.driver.stats.kernel_cycles
         if self.current != arr.tenant:
             # Context switch, charged through the real pipeline: the
@@ -386,6 +409,14 @@ class RunToCompletionScheduler:
         obs.observe(f"serve.tenant.{arr.tenant}.latency_cycles", latency,
                     buckets=LATENCY_BUCKETS)
         obs.add("serve.requests.completed")
+        slo.record_request(completion, latency)
+        if rec is not None:
+            rec.close(trace, "completed", start_cycle=start,
+                      completion_cycle=completion, latency_cycles=latency)
+            rec.exemplar("serve.latency_cycles", latency,
+                         LATENCY_BUCKETS, trace.trace_id)
+            rec.exemplar(f"serve.tenant.{arr.tenant}.latency_cycles",
+                         latency, LATENCY_BUCKETS, trace.trace_id)
 
     def offer(self, arr: Arrival) -> None:
         """Handle one arrival: serve whatever starts first, then admit,
@@ -396,6 +427,7 @@ class RunToCompletionScheduler:
             self.dispatch(self.waiting.popleft())
         report = self.reports[arr.tenant]
         report.arrivals += 1
+        rec = rt.active_recorder()
         if fire("admission-queue-corrupt"):
             # The queue slot failed its integrity check: the request is
             # shed -- fail closed, a request with corrupt tenant metadata
@@ -407,13 +439,29 @@ class RunToCompletionScheduler:
             obs.add(f"serve.tenant.{arr.tenant}.shed")
             ev.emit("fault-fallback", context=arr.tenant,
                     reason="admission-corrupt-shed")
+            slo.record_shed(arr.cycle)
+            if rec is not None:
+                trace = self._trace_for(rec, arr)
+                rec.note(trace, "admission", "corrupt-shed",
+                         queue_depth=len(self.waiting))
+                rec.close(trace, "corrupt-shed")
             return
         if self.queue_bound and len(self.waiting) >= self.queue_bound:
             report.shed += 1
             obs.add("serve.requests.shed")
             obs.add(f"serve.tenant.{arr.tenant}.shed")
+            slo.record_shed(arr.cycle)
+            if rec is not None:
+                trace = self._trace_for(rec, arr)
+                rec.note(trace, "admission", "shed",
+                         queue_depth=len(self.waiting))
+                rec.close(trace, "shed")
             return
         report.admitted += 1
+        if rec is not None:
+            trace = self._trace_for(rec, arr)
+            rec.note(trace, "admission", "admit",
+                     queue_depth=len(self.waiting))
         self.waiting.append(arr)
 
     def drain(self) -> None:
@@ -451,8 +499,10 @@ def run_serve(config: ServeConfig, image=None, *,
                                 config.mean_interarrival)
     reports = [TenantReport(tenant=t.index, profile=t.profile.name)
                for t in tenants]
-    scheduler = RunToCompletionScheduler(tenants, reports,
-                                         queue_bound=config.queue_bound)
+    scheduler = RunToCompletionScheduler(
+        tenants, reports, queue_bound=config.queue_bound,
+        trace_seed=config.seed,
+        trace_cell=f"s{config.seed}.t{config.tenants}")
     scheduler.serve_batch(schedule)
     collect_tenant_stats(tenants, reports)
     return ServeReport(config=config, tenants=reports,
@@ -495,22 +545,52 @@ def serve_cell(params: dict[str, Any],
     cell runs inside its own fresh :class:`repro.obs.MetricsRegistry`
     (the per-cell structure the parallel engine requires) and attaches
     its snapshot under ``"metrics"``.
+
+    Extra (non-``ServeConfig``) params, all observation-only -- the
+    report bytes are identical with or without them:
+
+    * ``block_cache`` -- force the block JIT on/off for the cell.
+    * ``trace`` -- run under a fresh ``TraceRecorder``; attaches its
+      snapshot under ``"traces"``.
+    * ``slo_window`` -- run under a fresh ``SloRollup`` with this
+      window width (simulated cycles); attaches it under ``"slo"``.
     """
     config = config_from_params(params)
-    if not observe:
-        return run_serve(config).as_dict()
+    block_cache = params.get("block_cache")
+    trace = bool(params.get("trace"))
+    slo_window = params.get("slo_window")
+    if not (observe or trace or slo_window):
+        return run_serve(config, block_cache=block_cache).as_dict()
+    from contextlib import ExitStack
+
     from repro.obs import MetricsRegistry, observing
-    registry = MetricsRegistry()
-    with observing(registry):
-        out = run_serve(config).as_dict()
-        # Summary gauges under a per-cell prefix, so merged cell
-        # registries never collide and the smoke snapshot carries the
-        # report figures the diff gate should watch.
-        cell = f"serve.cell.s{config.seed}.t{config.tenants}"
-        for key in ("completed", "shed", "throughput_rps",
-                    "makespan_cycles", "latency_p50", "latency_p95",
-                    "latency_p99", "switch_cycles",
-                    "fence_stall_cycles"):
-            obs.gauge(f"{cell}.{key}", out[key])
-    out["metrics"] = registry.snapshot()
+    registry = MetricsRegistry() if observe else None
+    recorder = rt.TraceRecorder() if trace else None
+    rollup = slo.SloRollup(float(slo_window),
+                           latency_buckets=LATENCY_BUCKETS) \
+        if slo_window else None
+    with ExitStack() as stack:
+        if registry is not None:
+            stack.enter_context(observing(registry))
+        if recorder is not None:
+            stack.enter_context(rt.tracing(recorder))
+        if rollup is not None:
+            stack.enter_context(slo.collecting(rollup))
+        out = run_serve(config, block_cache=block_cache).as_dict()
+        if registry is not None:
+            # Summary gauges under a per-cell prefix, so merged cell
+            # registries never collide and the smoke snapshot carries
+            # the report figures the diff gate should watch.
+            cell = f"serve.cell.s{config.seed}.t{config.tenants}"
+            for key in ("completed", "shed", "throughput_rps",
+                        "makespan_cycles", "latency_p50", "latency_p95",
+                        "latency_p99", "switch_cycles",
+                        "fence_stall_cycles"):
+                obs.gauge(f"{cell}.{key}", out[key])
+    if registry is not None:
+        out["metrics"] = registry.snapshot()
+    if recorder is not None:
+        out["traces"] = recorder.snapshot()
+    if rollup is not None:
+        out["slo"] = rollup.snapshot()
     return out

@@ -21,6 +21,7 @@ from repro.kernel.kernel import MiniKernel, SyscallResult
 from repro.kernel.process import Process
 from repro.obs import events as ev
 from repro.obs import registry as obs
+from repro.obs import reqtrace as rt
 
 #: Syscalls whose second argument carries no semantic meaning in the
 #: kernel model, so the driver may use it for rare-path injection.
@@ -91,6 +92,9 @@ class Driver:
         if result.exec_result is not None:
             ev.advance(result.cycles - result.exec_result.cycles)
         self.stats.add(result)
+        # Request tracing: one step per syscall on the open request (a
+        # global read + None test when no recorder/request is active).
+        rt.step("syscall", name, result.cycles)
         return result
 
     def reset_stats(self) -> None:

@@ -1,13 +1,19 @@
 """Property-based tests (hypothesis) of the block JIT's invalidation and
 counter-conservation contracts (see ``repro.cpu.blockcache``):
 
+* a freshly compiled block's first execution re-interprets once (a
+  *cold* miss: its token slot holds the ``COLD`` sentinel) before the
+  slot is armed with the live epoch token;
 * any speculation-environment change between two executions of the same
   block -- a policy swap, fault-point arming, or an ISV install/shrink --
   forces the next execution of that block to re-interpret (counted as an
-  invalidation + miss) before it is re-armed;
+  *epoch-invalidation* miss + invalidation) before it is re-armed;
 * ``hits + misses == block executions`` under *every* interleaving of
   runs and invalidation events, i.e. invalidations convert hits into
-  misses one-for-one and never lose or double-count an execution.
+  misses one-for-one and never lose or double-count an execution; and
+* the per-reason miss split is conserved:
+  ``sum(miss_reasons.values()) == misses`` with
+  ``invalidations == miss_reasons["epoch-invalidation"]``.
 """
 
 from __future__ import annotations
@@ -75,11 +81,12 @@ class TestEpochInvalidation:
         execution, so the counter deltas are exactly predictable from
         the event interleaving."""
         pipeline, func = _straightline()
-        expected_hits = expected_misses = 0
+        expected_hits = expected_invalidations = 0
+        expected_cold = 0
         # A bump only invalidates state that is already memoized: the
-        # first-ever run compiles cold under the *current* epoch (its
-        # fresh token matches, so the first arrival is a hit), and any
-        # bumps before that compilation have nothing to invalidate.
+        # first-ever run compiles and then cold-misses (the fresh slot
+        # holds the COLD sentinel), and any bumps before that first
+        # execution have nothing to invalidate.
         armed = False
         bumped = False
         baseline = None
@@ -100,16 +107,23 @@ class TestEpochInvalidation:
                 if baseline is None:
                     baseline = result.regs["r4"]
                 assert result.regs["r4"] == baseline
-                if armed and bumped:
-                    expected_misses += 1
+                if not armed:
+                    expected_cold += 1
+                elif bumped:
+                    expected_invalidations += 1
                 else:
                     expected_hits += 1
                 armed = True
                 bumped = False
         hits, misses, invalidations = _counters(pipeline)
         assert hits == expected_hits
-        assert misses == expected_misses
-        assert invalidations == expected_misses
+        assert misses == expected_cold + expected_invalidations
+        assert invalidations == expected_invalidations
+        reasons = pipeline._blockcache.miss_reasons if misses else {}
+        assert reasons.get("cold", 0) == expected_cold
+        assert reasons.get("epoch-invalidation", 0) == expected_invalidations
+        assert sum(reasons.values()) == misses, \
+            "per-reason miss counts must sum to total misses"
         runs = sum(1 for e in events if e == "run")
         assert hits + misses == runs, \
             "hits + misses must equal block executions"
@@ -142,7 +156,11 @@ class TestEpochInvalidation:
                 runs += 1
         hits, misses, invalidations = _counters(pipeline)
         assert hits + misses == runs * per_run
-        assert invalidations == misses
+        reasons = pipeline._blockcache.miss_reasons if misses else {}
+        assert sum(reasons.values()) == misses
+        # Every non-cold miss here is an epoch invalidation: the loop
+        # program never stops on guards or budget.
+        assert invalidations == misses - reasons.get("cold", 0)
 
 
 class TestViewInstallInvalidation:
