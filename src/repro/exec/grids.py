@@ -320,6 +320,10 @@ def _serve_cells(params: dict[str, Any]) -> CellList:
     config_keys = ("scheme", "requests_per_tenant", "mean_interarrival",
                    "queue_bound", "profiles", "rare_every",
                    "profile_requests",
+                   # Sharding knobs (repro.serve.shard): their presence
+                   # routes cells through the sharded engine.
+                   "shards", "placement", "migrate_every",
+                   "service_model", "memo_warmup", "memo_period",
                    # Observation-only extras (repro.serve.engine
                    # serve_cell): the report bytes are identical with or
                    # without them.
@@ -378,6 +382,54 @@ def _serve_assemble(params: dict[str, Any],
     if rollup is not None:
         out["slo"] = rollup.snapshot()
     return out
+
+
+# ---------------------------------------------------------------------------
+# Sharded scaling curves (repro.serve.shard): one cell per shard
+# ---------------------------------------------------------------------------
+
+
+def _scale_cells(params: dict[str, Any]) -> CellList:
+    """One cell per (scheme, tenants, shards, shard-index): each shard
+    of each experiment runs as its own worker-schedulable cell, since
+    shards share no kernel state and the placement plan is a pure
+    function of the config."""
+    config_keys = ("seed", "requests_per_tenant", "mean_interarrival",
+                   "queue_bound", "profiles", "rare_every",
+                   "profile_requests", "placement", "migrate_every",
+                   "service_model", "memo_warmup", "memo_period",
+                   "block_cache")
+    base = {k: params[k] for k in config_keys if k in params}
+    return [((scheme, str(tenants), str(shards), str(shard)),
+             {**base, "scheme": scheme, "tenants": tenants,
+              "shards": shards, "shard": shard})
+            for scheme in params["schemes"]
+            for tenants in params["tenants"]
+            for shards in params["shards"]
+            for shard in range(shards)]
+
+
+def _scale_run(key: Key, cp: dict[str, Any]) -> Any:
+    from repro.serve.shard import scale_shard_cell
+    return scale_shard_cell(cp)
+
+
+def _scale_assemble(params: dict[str, Any],
+                    payloads: dict[Key, Any]) -> dict[str, Any]:
+    """Scaling rows, merged per experiment in declared shard order
+    (pure integer/float folds over JSON payloads: byte-exact under any
+    worker fan-out)."""
+    from repro.serve.shard import merge_scale_shards
+    rows = []
+    for scheme in params["schemes"]:
+        for tenants in params["tenants"]:
+            for shards in params["shards"]:
+                cells = [payloads[(scheme, str(tenants), str(shards),
+                                   str(shard))]
+                         for shard in range(shards)]
+                rows.append(merge_scale_shards(scheme, tenants, shards,
+                                               cells))
+    return {"experiments": rows}
 
 
 # ---------------------------------------------------------------------------
@@ -528,6 +580,23 @@ _register(Grid(
     cells=_serve_cells,
     run_cell=_serve_run,
     assemble=_serve_assemble,
+))
+
+_register(Grid(
+    name="serve-scale",
+    entry_modules=("repro.serve.shard",),
+    defaults=lambda: {"schemes": ["unsafe", "perspective"],
+                      "tenants": [4, 8], "shards": [1, 2, 4],
+                      "seed": 0, "requests_per_tenant": 400,
+                      "mean_interarrival": 40_000.0, "queue_bound": 0,
+                      "rare_every": 0, "profile_requests": 2,
+                      "placement": "least-loaded", "migrate_every": 100,
+                      "service_model": "memo", "memo_warmup": 1,
+                      "memo_period": 24, "block_cache": True},
+    normalize=_identity,
+    cells=_scale_cells,
+    run_cell=_scale_run,
+    assemble=_scale_assemble,
 ))
 
 _register(Grid(

@@ -15,12 +15,22 @@ Three layers:
   run-to-completion scheduler charges real context-switch and view-switch
   costs through the existing pipeline and driver; an admission-control
   bound sheds load deterministically;
+* :mod:`repro.serve.shard` -- the N-shard scale-out engine: each shard
+  is a private MiniKernel core, tenants are placed by deterministic
+  policies, cross-shard migrations are explicitly charged, and an
+  event-driven scheduler skips idle gaps so million-request experiments
+  finish in seconds;
 * :mod:`repro.serve.conformance` -- the cross-scheme differential
   oracle: every defense scheme must produce identical *architectural*
   results on a seeded syscall corpus, differing only in cycle counts.
 """
 
-from repro.serve.arrival import Arrival, arrival_schedule, percentile
+from repro.serve.arrival import (
+    Arrival,
+    arrival_schedule,
+    arrival_stream,
+    percentile,
+)
 from repro.serve.conformance import (
     CONFORMANCE_SCHEMES,
     ConformanceResult,
@@ -36,16 +46,37 @@ from repro.serve.engine import (
     run_serve,
     serve_cell,
 )
+from repro.serve.shard import (
+    PLACEMENT_POLICIES,
+    Placer,
+    ShardedServeConfig,
+    ShardedServeReport,
+    memo_tables_of,
+    plan_placement,
+    run_serve_sharded,
+    scale_shard_cell,
+    static_placement,
+)
 
 __all__ = [
     "Arrival",
     "arrival_schedule",
+    "arrival_stream",
     "percentile",
     "ServeConfig",
     "ServeReport",
     "TenantReport",
     "run_serve",
     "serve_cell",
+    "PLACEMENT_POLICIES",
+    "Placer",
+    "ShardedServeConfig",
+    "ShardedServeReport",
+    "memo_tables_of",
+    "plan_placement",
+    "run_serve_sharded",
+    "scale_shard_cell",
+    "static_placement",
     "CONFORMANCE_SCHEMES",
     "ConformanceResult",
     "check_seed",

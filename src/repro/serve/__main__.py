@@ -28,6 +28,13 @@ adaptive hardening; same byte-determinism contract)::
     python -m repro.serve campaign --smoke           # CI campaign sweep
     python -m repro.serve campaign --smoke --workers 4
     python -m repro.serve campaign --journal DIR     # checkpoint/resume
+
+Sharded scaling curves (scheme x tenants x shards through the
+memoized multi-core engine; one ``repro.exec`` cell per shard)::
+
+    python -m repro.serve scale                      # full scaling grid
+    python -m repro.serve scale --smoke --workers 4  # trimmed, parallel
+    python -m repro.serve scale --artifacts DIR      # + CSV curves
 """
 
 from __future__ import annotations
@@ -41,6 +48,13 @@ DEFAULT_SWEEP = {"seeds": [0, 1, 2], "tenants": [2, 3, 4],
                  "requests_per_tenant": 10}
 SMOKE_SWEEP = {"seeds": [0, 1], "tenants": [2, 3],
                "requests_per_tenant": 6}
+
+#: Scale sweeps (scheme x tenants x shards scaling curves); the full
+#: grid is the committed benchmarks/out/serve_scale.json snapshot.
+DEFAULT_SCALE = {"schemes": ["unsafe", "perspective"],
+                 "tenants": [4, 8], "shards": [1, 2, 4]}
+SMOKE_SCALE = {"schemes": ["perspective"], "tenants": [4],
+               "shards": [1, 2], "requests_per_tenant": 200}
 
 #: Campaign sweeps: (seeds x fault scenarios).
 DEFAULT_CAMPAIGN = {"seeds": [0, 1],
@@ -57,6 +71,10 @@ def _run_sweep(args: argparse.Namespace) -> int:
 
     params = dict(SMOKE_SWEEP if args.smoke else DEFAULT_SWEEP)
     params["scheme"] = args.scheme
+    # Routing through the sharded engine (even at --shards 1) keeps one
+    # code path; shards=1 + the full service model is byte-identical to
+    # the single-kernel engine apart from additive shard gauges.
+    params["shards"] = args.shards
     # Replay through the block JIT is byte-exact (cache-parity gate), so
     # forcing it on changes only the snapshot's blockcache counters --
     # never the report -- and the smoke gates the miss-reason split.
@@ -84,6 +102,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
         "scheme": args.scheme,
         "seeds": params["seeds"], "tenants": params["tenants"],
         "requests_per_tenant": params["requests_per_tenant"],
+        "shards": params["shards"],
     })
     rendered_json = registry.to_json(indent=1) + "\n"
     if args.json:
@@ -160,6 +179,70 @@ def _conformance_command(args: argparse.Namespace) -> int:
         return 1
     print(f"all {len(results)} seeds architecturally conformant across "
           f"{len(schemes)} schemes")
+    return 0
+
+
+#: Scaling-row fields published as per-experiment gauges (and CSV
+#: columns): all pure functions of the config, so the snapshot is
+#: byte-exact across workers and hash seeds.
+_SCALE_FIELDS = (
+    "offered", "completed", "shed", "makespan_cycles", "throughput_rps",
+    "latency_p50", "latency_p99", "kernel_cycles", "switches",
+    "switch_cycles", "migrations_in", "ibpb_flushes",
+    "migration_cold_dispatches", "migration_excess_cycles", "memo_keys",
+    "memo_replays", "memo_interpreted")
+
+
+def _scale_command(args: argparse.Namespace) -> int:
+    from repro.exec.engine import run_experiment
+    from repro.obs import MetricsRegistry
+
+    params = dict(SMOKE_SCALE if args.smoke else DEFAULT_SCALE)
+    result, report = run_experiment(
+        "serve-scale", params, workers=args.workers,
+        use_cache=not args.no_cache)
+    print(report.summary(), file=sys.stderr)
+
+    registry = MetricsRegistry()
+    for row in result["experiments"]:
+        prefix = (f"serve_scale.{row['scheme']}"
+                  f".t{row['tenants']}.sh{row['shards']}")
+        for fname in _SCALE_FIELDS:
+            registry.gauge(f"{prefix}.{fname}", row[fname])
+    registry.meta.update({
+        "plane": "repro.serve.scale",
+        "sweep": "smoke" if args.smoke else "default",
+        "schemes": params["schemes"], "tenants": params["tenants"],
+        "shards": params["shards"],
+    })
+    rendered_json = registry.to_json(indent=1) + "\n"
+    if args.json:
+        print(rendered_json, end="")
+    else:
+        for row in result["experiments"]:
+            print(f"scheme={row['scheme']} tenants={row['tenants']} "
+                  f"shards={row['shards']}: "
+                  f"completed={row['completed']} shed={row['shed']} "
+                  f"rps={row['throughput_rps']:.0f} "
+                  f"p99={row['latency_p99']:.0f} "
+                  f"migrations={row['migrations_in']} "
+                  f"excess={row['migration_excess_cycles']:.0f}")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered_json)
+        print(f"snapshot written to {args.out}", file=sys.stderr)
+    if args.artifacts:
+        import pathlib
+        outdir = pathlib.Path(args.artifacts)
+        outdir.mkdir(parents=True, exist_ok=True)
+        lines = ["scheme,tenants,shards," + ",".join(_SCALE_FIELDS)]
+        for row in result["experiments"]:
+            lines.append(",".join(
+                [row["scheme"], str(row["tenants"]), str(row["shards"])]
+                + [repr(row[fname]) for fname in _SCALE_FIELDS]))
+        curves = outdir / "serve_scale_curves.csv"
+        curves.write_text("\n".join(lines) + "\n")
+        print(f"artifacts written to {outdir}", file=sys.stderr)
     return 0
 
 
@@ -350,11 +433,33 @@ def _subcommand_parser() -> argparse.ArgumentParser:
                            "stacks) to DIR")
     camp.add_argument("--kill-after-cells", type=int, default=None,
                       help=argparse.SUPPRESS)  # crash-test hook
+
+    scale = sub.add_parser(
+        "scale",
+        help="sharded scaling curves: scheme x tenants x shards through "
+             "the memoized multi-core engine (one repro.exec cell per "
+             "shard; byte-identical under any --workers)")
+    scale.add_argument("--smoke", action="store_true",
+                       help="trimmed sweep (1 scheme x 1 tenant count "
+                            "x 2 shard counts)")
+    scale.add_argument("--workers", type=int, default=1,
+                       help="parallel shard-cell workers (same bytes "
+                            "either way)")
+    scale.add_argument("--no-cache", action="store_true",
+                       help="bypass the repro.exec result cache")
+    scale.add_argument("--json", action="store_true",
+                       help="print the JSON snapshot instead of per-row "
+                            "summary lines")
+    scale.add_argument("-o", "--out", metavar="FILE",
+                       help="write the JSON gauge snapshot to FILE")
+    scale.add_argument("--artifacts", metavar="DIR",
+                       help="write scaling-curve CSV artifacts to DIR")
     return parser
 
 
 _COMMANDS = {"conformance": _conformance_command,
-             "campaign": _campaign_command}
+             "campaign": _campaign_command,
+             "scale": _scale_command}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -370,6 +475,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="trimmed CI sweep (2 seeds x 2 tenant counts)")
     parser.add_argument("--scheme", default="perspective",
                         help="defense scheme to serve under")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="simulated cores per cell (tenants placed "
+                             "by the hash policy; default 1)")
     parser.add_argument("--workers", type=int, default=1,
                         help="parallel cell workers (same bytes either way)")
     parser.add_argument("--no-cache", action="store_true",

@@ -19,9 +19,11 @@ server falls behind instead of silently throttling the offered load).
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
 from random import Random
+from typing import Iterator
 
 
 @dataclass(frozen=True)
@@ -60,6 +62,38 @@ def tenant_arrivals(seed: int, tenant: int, requests: int,
         cycle += -mean_interarrival * math.log(1.0 - rng.random())
         out.append(Arrival(cycle=cycle, tenant=tenant, seq=seq))
     return out
+
+
+def tenant_arrival_iter(seed: int, tenant: int, requests: int,
+                        mean_interarrival: float,
+                        stream: str = DEFAULT_STREAM) -> Iterator[Arrival]:
+    """Generator form of :func:`tenant_arrivals` (same draws, same order,
+    O(1) memory): the sharded engine streams million-request schedules
+    instead of materializing them."""
+    if mean_interarrival <= 0:
+        raise ValueError("mean_interarrival must be positive")
+    rng = tenant_rng(seed, tenant, stream=stream)
+    cycle = 0.0
+    for seq in range(requests):
+        cycle += -mean_interarrival * math.log(1.0 - rng.random())
+        yield Arrival(cycle=cycle, tenant=tenant, seq=seq)
+
+
+def arrival_stream(seed: int, tenants: int, requests_per_tenant: int,
+                   mean_interarrival: float,
+                   stream: str = DEFAULT_STREAM) -> Iterator[Arrival]:
+    """Streaming merge of the per-tenant arrival generators.
+
+    Yields exactly the sequence :func:`arrival_schedule` returns (the
+    per-tenant streams are already cycle-sorted, and ``heapq.merge`` on
+    ``(cycle, tenant, seq)`` reproduces the stable merged order) while
+    holding only one pending arrival per tenant in memory.
+    """
+    return heapq.merge(
+        *(tenant_arrival_iter(seed, tenant, requests_per_tenant,
+                              mean_interarrival, stream=stream)
+          for tenant in range(tenants)),
+        key=lambda a: (a.cycle, a.tenant, a.seq))
 
 
 def arrival_schedule(seed: int, tenants: int, requests_per_tenant: int,

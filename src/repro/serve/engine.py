@@ -271,6 +271,7 @@ class Tenant:
 
 def boot_tenants(config: ServeConfig, image=None, *,
                  block_cache: bool | None = None,
+                 indices: list[int] | None = None,
                  ) -> tuple[MiniKernel, list[Tenant]]:
     """Boot one kernel with ``config.tenants`` cgroup-backed processes,
     run the offline profiling pass, arm the scheme, and run each
@@ -280,13 +281,17 @@ def boot_tenants(config: ServeConfig, image=None, *,
     N distrusting contexts sharing the machine: every tenant gets its
     own cgroup (so its own DSV/DSVMT and, for Perspective flavors, its
     own installed ISV).
+
+    ``indices`` restricts the boot to a subset of the config's global
+    tenant indices (a shard boots only the tenants placed on its core);
+    the default boots all of them, byte-identically to before.
     """
     kernel = MiniKernel(image=shared_image() if image is None else image)
     if block_cache is not None:
         kernel.pipeline.config.enable_block_cache = block_cache
     flavor = perspective_flavor(config.scheme)
     procs: list[tuple[int, Process, RequestProfile]] = []
-    for index in range(config.tenants):
+    for index in (range(config.tenants) if indices is None else indices):
         profile = REQUEST_PROFILES[config.profile_of(index)]
         proc = kernel.create_process(f"tenant{index}.{profile.name}")
         procs.append((index, proc, profile))
@@ -357,6 +362,12 @@ class RunToCompletionScheduler:
         self.free_at = 0.0
         self.current: int | None = None
         self.makespan = 0.0
+        #: Event-skip horizon: a cached lower bound on the next backlog
+        #: dispatch's start cycle.  ``free_at`` only ever grows and the
+        #: queue head only moves to later arrivals, so a stale value
+        #: stays a lower bound -- arrivals strictly before it can skip
+        #: the head re-scan without changing a single dispatch.
+        self._next_start = 0.0
         #: Request-trace identity inputs (repro.obs.reqtrace): trace IDs
         #: derive from (trace_seed, trace_cell, tenant, arrival seq).
         #: The campaign re-labels trace_cell per epoch.
@@ -421,10 +432,16 @@ class RunToCompletionScheduler:
     def offer(self, arr: Arrival) -> None:
         """Handle one arrival: serve whatever starts first, then admit,
         shed (queue bound), or discard (corrupt admission slot)."""
-        # Serve everything that starts no later than this arrival.
-        while self.waiting \
-                and max(self.free_at, self.waiting[0].cycle) <= arr.cycle:
-            self.dispatch(self.waiting.popleft())
+        # Serve everything that starts no later than this arrival.  The
+        # horizon check skips the idle gap between this arrival and the
+        # next possible dispatch start in O(1) (byte-identical: when it
+        # fires, the while condition below would be false anyway).
+        if self.waiting and arr.cycle >= self._next_start:
+            while self.waiting \
+                    and max(self.free_at, self.waiting[0].cycle) <= arr.cycle:
+                self.dispatch(self.waiting.popleft())
+            if self.waiting:
+                self._next_start = max(self.free_at, self.waiting[0].cycle)
         report = self.reports[arr.tenant]
         report.arrivals += 1
         rec = rt.active_recorder()
@@ -462,11 +479,23 @@ class RunToCompletionScheduler:
             trace = self._trace_for(rec, arr)
             rec.note(trace, "admission", "admit",
                      queue_depth=len(self.waiting))
+        if not self.waiting:
+            self._next_start = max(self.free_at, arr.cycle)
         self.waiting.append(arr)
 
     def drain(self) -> None:
         while self.waiting:
             self.dispatch(self.waiting.popleft())
+
+    def drain_until(self, cycle: float) -> None:
+        """Serve every queued request that starts at or before ``cycle``
+        (the dense reference loop's per-quantum step)."""
+        if self.waiting and cycle >= self._next_start:
+            while self.waiting \
+                    and max(self.free_at, self.waiting[0].cycle) <= cycle:
+                self.dispatch(self.waiting.popleft())
+            if self.waiting:
+                self._next_start = max(self.free_at, self.waiting[0].cycle)
 
     def serve_batch(self, schedule: list[Arrival]) -> None:
         """Offer one merged arrival batch, then run the queue dry."""
@@ -554,13 +583,28 @@ def serve_cell(params: dict[str, Any],
       snapshot under ``"traces"``.
     * ``slo_window`` -- run under a fresh ``SloRollup`` with this
       window width (simulated cycles); attaches it under ``"slo"``.
+
+    Sharding params (``shards``, ``placement``, ``migrate_every``,
+    ``service_model``, ``memo_warmup``, ``memo_period``) route the cell
+    through :func:`repro.serve.shard.run_serve_sharded`; with
+    ``shards=1`` and the ``full`` service model that path reproduces
+    this one byte-for-byte (plus additive shard gauges).
     """
-    config = config_from_params(params)
-    block_cache = params.get("block_cache")
+    from repro.serve.shard import (
+        _SHARD_KEYS, run_serve_sharded, sharded_config_from_params)
+    sharded = any(k in params for k in _SHARD_KEYS)
+    if sharded:
+        config = sharded_config_from_params(params)
+        runner = lambda: run_serve_sharded(  # noqa: E731
+            config, block_cache=params.get("block_cache"))
+    else:
+        config = config_from_params(params)
+        runner = lambda: run_serve(  # noqa: E731
+            config, block_cache=params.get("block_cache"))
     trace = bool(params.get("trace"))
     slo_window = params.get("slo_window")
     if not (observe or trace or slo_window):
-        return run_serve(config, block_cache=block_cache).as_dict()
+        return runner().as_dict()
     from contextlib import ExitStack
 
     from repro.obs import MetricsRegistry, observing
@@ -576,16 +620,20 @@ def serve_cell(params: dict[str, Any],
             stack.enter_context(rt.tracing(recorder))
         if rollup is not None:
             stack.enter_context(slo.collecting(rollup))
-        out = run_serve(config, block_cache=block_cache).as_dict()
+        out = runner().as_dict()
         if registry is not None:
             # Summary gauges under a per-cell prefix, so merged cell
             # registries never collide and the smoke snapshot carries
             # the report figures the diff gate should watch.
             cell = f"serve.cell.s{config.seed}.t{config.tenants}"
-            for key in ("completed", "shed", "throughput_rps",
-                        "makespan_cycles", "latency_p50", "latency_p95",
-                        "latency_p99", "switch_cycles",
-                        "fence_stall_cycles"):
+            keys = ["completed", "shed", "throughput_rps",
+                    "makespan_cycles", "latency_p50", "latency_p95",
+                    "latency_p99", "switch_cycles",
+                    "fence_stall_cycles"]
+            if sharded:
+                keys += ["migrations", "migration_excess_cycles"]
+                obs.gauge(f"{cell}.shards", config.shards)
+            for key in keys:
                 obs.gauge(f"{cell}.{key}", out[key])
     if registry is not None:
         out["metrics"] = registry.snapshot()
