@@ -22,14 +22,8 @@ from repro.attacks.spectre_v2 import (
 from repro.core.framework import Perspective
 from repro.core.views import InstructionSpeculationView
 from repro.cpu.pipeline import SpeculationPolicy
-from repro.defenses import (
-    DelayOnMissPolicy,
-    FencePolicy,
-    PerspectivePolicy,
-    STTPolicy,
-    SpotMitigationPolicy,
-    UnsafePolicy,
-)
+from repro.defenses import PerspectivePolicy
+from repro.defenses.registry import build_policy as registry_build_policy
 from repro.kernel.image import KernelImage, shared_image
 from repro.kernel.kernel import KernelConfig, MiniKernel
 from repro.obs.events import EventJournal, journaling
@@ -49,6 +43,10 @@ ATTACKS = {
 #: Attacks that require an eIBRS-configured kernel.
 _NEEDS_EIBRS = {"bhi-passive", "spectre-v2-vs-eibrs"}
 
+#: Default scheme columns of the Chapter 8 matrix (the paper's rows).
+#: Any scheme in :func:`repro.defenses.registry.registered_schemes` is
+#: accepted by :func:`run_attack`; the full cross-paper matrix lives in
+#: :mod:`repro.eval.defense_matrix`.
 SCHEMES = ("unsafe", "fence", "dom", "stt", "spot", "perspective")
 
 
@@ -94,28 +92,17 @@ def build_perspective(kernel: MiniKernel,
 
 
 def build_policy(scheme: str, kernel: MiniKernel) -> SpeculationPolicy:
-    """Instantiate (and install) the policy for a scheme name."""
-    if scheme == "unsafe":
-        policy: SpeculationPolicy = UnsafePolicy()
-    elif scheme == "fence":
-        policy = FencePolicy()
-    elif scheme == "dom":
-        policy = DelayOnMissPolicy()
-    elif scheme == "stt":
-        policy = STTPolicy()
-    elif scheme == "spot":
-        policy = SpotMitigationPolicy(kpti=True, retpoline=True)
-    elif scheme == "spot-ibpb":
-        policy = SpotMitigationPolicy(kpti=True, retpoline=True, ibpb=True)
-    elif scheme == "perspective":
-        _, policy = build_perspective(kernel)
-        return policy
-    elif scheme == "perspective++":
-        _, policy = build_perspective(kernel, harden=True)
-        return policy
-    else:
-        raise ValueError(f"unknown scheme {scheme!r}")
-    kernel.pipeline.set_policy(policy)
+    """Instantiate (and install) the policy for a scheme name.
+
+    Delegates to the scheme registry, so any registered scheme --
+    including ones added after this module was written -- can be run
+    through the attack matrix.  Perspective flavors are wired through
+    :func:`build_perspective` (which installs the policy itself); every
+    other policy is installed here.
+    """
+    policy = registry_build_policy(scheme, kernel=kernel)
+    if kernel.pipeline.policy is not policy:
+        kernel.pipeline.set_policy(policy)
     return policy
 
 

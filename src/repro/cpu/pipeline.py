@@ -679,7 +679,12 @@ class Pipeline:
                 # Conservation: the per-reason counters sum to
                 # pipeline.blockcache.misses.
                 ctx = context.context_id if context is not None else 0
-                scheme = self.policy.name
+                # Registry-derived label, not the raw policy name: names
+                # like "spot-kpti+retpoline" contain metric-hostile
+                # characters, and the registry collision-checks labels so
+                # two schemes can never silently share attr counters.
+                from repro.defenses.registry import policy_metric_label
+                scheme = policy_metric_label(self.policy)
                 for (reason, fn), count in bc_attr.items():
                     registry.add(f"pipeline.blockcache.miss.{reason}",
                                  count)

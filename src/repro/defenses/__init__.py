@@ -1,8 +1,25 @@
-"""Defense schemes evaluated in the paper (Chapter 7): the unsafe
-baseline, hardware-only schemes, Perspective, and spot mitigations."""
+"""Defense schemes evaluated in the paper (Chapter 7) and beyond: the
+unsafe baseline, hardware-only schemes, Perspective, spot mitigations,
+and related-work alternatives (SafeSpec, ConTExT) -- all behind the
+scheme registry (:mod:`repro.defenses.registry`)."""
 
 from repro.defenses.base import CountingPolicy, FenceStats
+from repro.defenses.context import ConTExTPolicy
 from repro.defenses.perspective import PerspectivePolicy
+from repro.defenses.registry import (
+    SchemeCapabilities,
+    SchemeRegistrationError,
+    SchemeSpec,
+    build_policy,
+    derive_metric_label,
+    get_scheme,
+    policy_metric_label,
+    register_scheme,
+    registered_schemes,
+    scheme_capabilities,
+    unregister_scheme,
+)
+from repro.defenses.safespec import SafeSpecPolicy
 from repro.defenses.schemes import (
     DelayOnMissPolicy,
     FencePolicy,
@@ -17,6 +34,7 @@ from repro.defenses.spot import (
 )
 
 __all__ = [
+    "ConTExTPolicy",
     "CountingPolicy",
     "DelayOnMissPolicy",
     "FencePolicy",
@@ -26,6 +44,18 @@ __all__ = [
     "KPTI_TLB_PRESSURE",
     "PerspectivePolicy",
     "STTPolicy",
+    "SafeSpecPolicy",
+    "SchemeCapabilities",
+    "SchemeRegistrationError",
+    "SchemeSpec",
     "SpotMitigationPolicy",
     "UnsafePolicy",
+    "build_policy",
+    "derive_metric_label",
+    "get_scheme",
+    "policy_metric_label",
+    "register_scheme",
+    "registered_schemes",
+    "scheme_capabilities",
+    "unregister_scheme",
 ]

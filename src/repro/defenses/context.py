@@ -1,0 +1,58 @@
+"""ConTExT [Schwarz et al., NDSS'20]: non-transient memory tagging.
+
+ConTExT lets the OS mark pages holding secrets as *non-transient*.  The
+hardware propagates the tag through the page tables into the TLB and
+cache lines; a transient-execution load that touches a tagged line gets
+a dummy value instead of the data, and real propagation stalls until
+the load is at the head of the ROB (i.e. non-speculative).  Everything
+untagged speculates at full speed, which is why ConTExT's overhead is
+near zero: protection is paid only where secrets actually live.
+
+Model mapping: :meth:`repro.kernel.kernel.MiniKernel.plant_secret` tags
+the frames it writes (``MiniKernel.tag_non_transient``), and this policy
+blocks speculative loads whose physical frame is tagged.  A blocked
+committed-path load stalls to its visibility point -- architecturally
+identical to "dummy value now, real value at retire", because no
+dependent consumed the dummy.  A blocked wrong-path load returns nothing
+and squashes, so the secret never reaches a covert-channel transmitter.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.pipeline import LoadDecision, LoadQuery
+from repro.defenses.base import CountingPolicy
+from repro.defenses.registry import SchemeCapabilities, register_scheme
+from repro.kernel.layout import PAGE_SHIFT
+
+
+class ConTExTPolicy(CountingPolicy):
+    """Block speculative loads to frames tagged non-transient."""
+
+    name = "context"
+
+    def __init__(self, kernel) -> None:
+        super().__init__()
+        #: The kernel owns the tag set (``non_transient_frames``); the
+        #: policy reads it live, so tagging after arming still protects.
+        self.kernel = kernel
+
+    def check_load(self, query: LoadQuery) -> LoadDecision:
+        if (query.load_pa >> PAGE_SHIFT) in self.kernel.non_transient_frames:
+            return self.block("context-tagged")
+        return LoadDecision.ALLOW
+
+
+def _make_context(framework=None, kernel=None):
+    if kernel is None:
+        raise ValueError(
+            "scheme 'context' needs the kernel that owns the "
+            "non-transient tags (pass kernel=)")
+    return ConTExTPolicy(kernel)
+
+
+register_scheme(
+    "context", _make_context,
+    SchemeCapabilities(speculative_loads="restricted", transient_fill=True,
+                       needs_kernel=True),
+    summary="secret pages tagged non-transient; speculative loads to "
+            "tagged frames stall, everything else runs free")

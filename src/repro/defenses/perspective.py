@@ -25,6 +25,7 @@ from repro.obs import events as ev
 from repro.reliability.faultplane import DSVMTWalkFault
 from repro.cpu.pipeline import LoadDecision, LoadQuery
 from repro.defenses.base import CountingPolicy
+from repro.defenses.registry import SchemeCapabilities, register_scheme
 from repro.kernel.layout import PAGE_SHIFT
 
 
@@ -133,3 +134,39 @@ class PerspectivePolicy(CountingPolicy):
             ev.emit_here("dsv-ownership-miss", reason="cached")
             return self.block("dsv")
         return None
+
+
+def _make_perspective(harden: bool):
+    """Perspective flavors share one policy class; the flavor lives in
+    which ISVs the *caller* installs.  With a ``framework`` the caller
+    already built the views (eval environments, conformance, serving);
+    with only a ``kernel`` the attack-harness path wires a permissive
+    syscall-surface view (hardened for the ++ flavor) and installs the
+    policy itself."""
+    def make(framework=None, kernel=None):
+        if framework is not None:
+            return PerspectivePolicy(framework)
+        if kernel is not None:
+            from repro.attacks.harness import build_perspective
+            _, policy = build_perspective(kernel, harden=harden)
+            return policy
+        raise ValueError(
+            "Perspective schemes need a framework (or a kernel to wire "
+            "one onto); pass framework= or kernel=")
+    return make
+
+
+_PERSPECTIVE_CAPS = SchemeCapabilities(
+    speculative_loads="restricted", transient_fill=True,
+    needs_framework=True)
+
+register_scheme(
+    "perspective-static", _make_perspective(harden=False),
+    _PERSPECTIVE_CAPS,
+    summary="Perspective with static-analysis ISVs")
+register_scheme(
+    "perspective", _make_perspective(harden=False), _PERSPECTIVE_CAPS,
+    summary="Perspective with dynamic (traced) ISVs")
+register_scheme(
+    "perspective++", _make_perspective(harden=True), _PERSPECTIVE_CAPS,
+    summary="dynamic ISVs hardened with scanner findings")

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.cpu.pipeline import LoadDecision, LoadQuery, SpeculationPolicy
 from repro.defenses.base import CountingPolicy
+from repro.defenses.registry import SchemeCapabilities, register_scheme
 
 
 class UnsafePolicy(SpeculationPolicy):
@@ -95,3 +96,44 @@ class STTPolicy(CountingPolicy):
 
     def delays_tainted_branch_resolution(self) -> bool:
         return True
+
+
+# ---------------------------------------------------------------------------
+# Registration
+# ---------------------------------------------------------------------------
+
+
+def _simple(policy_cls):
+    """Factory for schemes that need neither framework nor kernel."""
+    def make(framework=None, kernel=None):
+        return policy_cls()
+    return make
+
+
+register_scheme(
+    "unsafe", _simple(UnsafePolicy),
+    SchemeCapabilities(speculative_loads="always", transient_fill=True),
+    summary="unprotected baseline; every speculative load proceeds")
+
+register_scheme(
+    "fence", _simple(FencePolicy),
+    SchemeCapabilities(speculative_loads="never", transient_fill=False),
+    summary="delay every speculative load until prior branches resolve")
+
+register_scheme(
+    "dom", _simple(DelayOnMissPolicy),
+    SchemeCapabilities(speculative_loads="restricted",
+                       transient_fill=False),
+    summary="Delay-on-Miss: L1 hits proceed (LRU frozen), misses wait")
+
+register_scheme(
+    "stt", _simple(STTPolicy),
+    SchemeCapabilities(speculative_loads="restricted", transient_fill=True,
+                       taint_tracking=True),
+    summary="Speculative Taint Tracking: delay tainted transmitters only")
+
+register_scheme(
+    "invisispec", _simple(InvisiSpecPolicy),
+    SchemeCapabilities(speculative_loads="always", transient_fill=False),
+    summary="invisible speculation: loads fill a speculative buffer and "
+            "replay at the visibility point")

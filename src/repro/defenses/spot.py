@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.cpu.pipeline import LoadDecision, LoadQuery
 from repro.defenses.base import CountingPolicy
+from repro.defenses.registry import SchemeCapabilities, register_scheme
 
 #: Cycles per direction for the KPTI CR3 write + trampoline, scaled to
 #: this model's syscall costs (absolute syscall cycles here are lower
@@ -65,3 +66,24 @@ class SpotMitigationPolicy(CountingPolicy):
 
     def retpoline_enabled(self) -> bool:
         return self.retpoline
+
+
+def _make_spot(**flags):
+    def make(framework=None, kernel=None):
+        return SpotMitigationPolicy(**flags)
+    return make
+
+
+_SPOT_CAPS = SchemeCapabilities(speculative_loads="always",
+                                transient_fill=True)
+
+register_scheme(
+    "spot", _make_spot(kpti=True, retpoline=True), _SPOT_CAPS,
+    summary="deployed Linux mitigations: KPTI + retpoline")
+register_scheme(
+    "spot-nokpti", _make_spot(kpti=False, retpoline=True), _SPOT_CAPS,
+    summary="retpoline only (KPTI off)")
+register_scheme(
+    "spot-ibpb", _make_spot(kpti=True, retpoline=True, ibpb=True),
+    _SPOT_CAPS,
+    summary="KPTI + retpoline + IBPB on context switch")

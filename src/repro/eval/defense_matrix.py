@@ -1,0 +1,240 @@
+"""The cross-paper defense-comparison matrix.
+
+One table no single paper has: every registered defense scheme held to
+
+* the **conformance oracle** -- architectural digests equal to the
+  unsafe baseline across the seeded trace corpus (cycles exempt);
+* the **attack matrix** -- the full active/passive PoC suite from
+  Chapter 8;
+* the **overhead columns** -- LEBench geomean overhead and fences per
+  kilo-instruction, measured in the same environments as Figure 9.2.
+
+The grid (``defense-matrix`` in :mod:`repro.exec.grids`) decomposes the
+table into independent cells -- one per (scheme, seed) conformance run,
+one attack row per scheme, one perf row per scheme -- so the parallel
+engine runs it with byte-exact worker parity, and CI diff-gates the
+assembled ``benchmarks/out/defense_matrix.json`` snapshot.
+
+CLI::
+
+    python -m repro.eval.defense_matrix -o defense_matrix.json
+    python -m repro.eval.defense_matrix --workers 4 --no-cache
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from typing import Any
+
+from repro.attacks.harness import ATTACKS, run_attack
+from repro.eval.envs import RARE_EVERY, make_env
+from repro.eval.metrics import geomean
+from repro.serve.conformance import (
+    _ARCH_KEYS,
+    CONFORMANCE_SCHEMES,
+    generate_trace,
+    run_trace_under,
+)
+from repro.workloads.lebench import run_lebench
+
+#: The eight columns of the cross-paper table: both fencing extremes,
+#: taint tracking, the shadow-structure family, memory tagging, the
+#: deployed-software point, and the hardened Perspective flavor.
+MATRIX_SCHEMES = CONFORMANCE_SCHEMES
+
+#: PoCs grouped the way the paper's matrices slice them.  The eIBRS
+#: baseline check is a control (blocked even on unsafe hardware), so it
+#: is excluded from the leak counts.
+ACTIVE_ATTACKS = ("spectre-v1-active", "spectre-v2-active",
+                  "ebpf-injection")
+PASSIVE_ATTACKS = ("spectre-v2-passive", "retbleed-passive",
+                   "spectre-rsb-passive", "bhi-passive")
+BASELINE_CHECKS = ("spectre-v2-vs-eibrs",)
+
+
+# ---------------------------------------------------------------------------
+# Cells (each independently executable by a pool worker)
+# ---------------------------------------------------------------------------
+
+
+def conformance_cell(scheme: str, seed: int, steps: int = 14,
+                     tenants: int = 2) -> dict[str, Any]:
+    """One (scheme, seed) conformance run, reduced to a comparable hash
+    of the architectural keys (cycles recorded, never compared)."""
+    trace = generate_trace(seed, steps=steps, tenants=tenants)
+    digest = run_trace_under(scheme, trace, tenants=tenants)
+    arch = {key: digest[key] for key in _ARCH_KEYS}
+    blob = json.dumps(arch, sort_keys=True).encode()
+    return {"arch_sha": hashlib.sha256(blob).hexdigest(),
+            "cycles": digest["cycles"],
+            "fenced_loads": digest["fenced_loads"]}
+
+
+def attacks_cell(scheme: str) -> dict[str, str]:
+    """Every PoC against one scheme: ``attack -> blocked|leaked``."""
+    return {attack: "blocked" if run_attack(attack, scheme).blocked
+            else "leaked"
+            for attack in sorted(ATTACKS)}
+
+
+def perf_cell(scheme: str, rare_every: int = RARE_EVERY) -> dict[str, Any]:
+    """LEBench cycles plus fence totals for one scheme, from one run."""
+    env = make_env("lebench", scheme)
+    stats: list = []
+    cycles = run_lebench(env.kernel, env.proc, rare_every=rare_every,
+                         collect_stats=stats)
+    return {"cycles": cycles,
+            "fenced_loads": sum(s.exec.total_fenced for s in stats),
+            "committed_ops": sum(s.exec.committed_ops for s in stats)}
+
+
+def defense_matrix_cell(cp: dict[str, Any]) -> Any:
+    """Grid dispatch: one cell of the defense-matrix experiment."""
+    kind = cp["kind"]
+    if kind == "conformance":
+        return conformance_cell(cp["scheme"], cp["seed"],
+                                steps=cp["steps"], tenants=cp["tenants"])
+    if kind == "attacks":
+        return attacks_cell(cp["scheme"])
+    if kind == "perf":
+        return perf_cell(cp["scheme"], rare_every=cp["rare_every"])
+    raise ValueError(f"unknown defense-matrix cell kind {cp['kind']!r}")
+
+
+# ---------------------------------------------------------------------------
+# Assembly
+# ---------------------------------------------------------------------------
+
+
+def assemble_matrix(params: dict[str, Any],
+                    payloads: dict[tuple, Any]) -> dict[str, Any]:
+    """Fold the cell payloads into the cross-paper table.
+
+    Pure JSON folds in declared cell order, so the output is
+    byte-identical at any worker count; every float is rounded once,
+    here, so the snapshot is stable.
+    """
+    schemes = list(params["schemes"])
+    seeds = list(params["seeds"])
+    table: dict[str, Any] = {
+        "schemes": schemes,
+        "conformance_seeds": len(seeds),
+        "conformance": {},
+        "attacks": {},
+        "security": {},
+        "performance": {},
+    }
+
+    base_scheme = schemes[0]
+    for scheme in schemes:
+        diverging = [
+            seed for seed in seeds
+            if payloads[("conformance", scheme, str(seed))]["arch_sha"]
+            != payloads[("conformance", base_scheme, str(seed))]["arch_sha"]
+        ]
+        table["conformance"][scheme] = {
+            "ok": not diverging,
+            "diverging_seeds": diverging,
+            "corpus_fenced_loads": sum(
+                payloads[("conformance", scheme, str(seed))]["fenced_loads"]
+                for seed in seeds),
+        }
+
+    unsafe_row = payloads[("attacks", "unsafe")] \
+        if ("attacks", "unsafe") in payloads else None
+    for scheme in schemes:
+        row = payloads[("attacks", scheme)]
+        table["attacks"][scheme] = dict(row)
+        leaking = [a for a in ACTIVE_ATTACKS + PASSIVE_ATTACKS
+                   if unsafe_row is None or unsafe_row[a] == "leaked"]
+        blocked = [a for a in leaking if row[a] == "blocked"]
+        table["security"][scheme] = {
+            "leaks_blocked": f"{len(blocked)}/{len(leaking)}",
+            "active_blocked": sum(1 for a in ACTIVE_ATTACKS
+                                  if a in leaking and row[a] == "blocked"),
+            "passive_blocked": sum(1 for a in PASSIVE_ATTACKS
+                                   if a in leaking and row[a] == "blocked"),
+        }
+
+    unsafe_cycles = payloads[("perf", "unsafe")]["cycles"]
+    for scheme in schemes:
+        cell = payloads[("perf", scheme)]
+        ratios = [cell["cycles"][test] / unsafe_cycles[test]
+                  for test in unsafe_cycles]
+        fences_per_kinst = (1000.0 * cell["fenced_loads"]
+                            / cell["committed_ops"]
+                            if cell["committed_ops"] else 0.0)
+        table["performance"][scheme] = {
+            "overhead_geomean_pct": round(100.0 * (geomean(ratios) - 1.0),
+                                          4),
+            "fences_per_kinst": round(fences_per_kinst, 4),
+            "fenced_loads": cell["fenced_loads"],
+        }
+    return table
+
+
+def render_table(table: dict[str, Any]) -> str:
+    """Human-readable cross-paper comparison (docs/performance.md)."""
+    lines = [
+        f"{'scheme':<16} {'conformance':<12} {'leaks blocked':<14} "
+        f"{'overhead':>9} {'fences/kinst':>13}",
+    ]
+    for scheme in table["schemes"]:
+        conf = "ok" if table["conformance"][scheme]["ok"] else "DIVERGED"
+        sec = table["security"][scheme]["leaks_blocked"]
+        perf = table["performance"][scheme]
+        lines.append(
+            f"{scheme:<16} {conf:<12} {sec:<14} "
+            f"{perf['overhead_geomean_pct']:>8.2f}% "
+            f"{perf['fences_per_kinst']:>13.2f}")
+    return "\n".join(lines)
+
+
+def run_defense_matrix(schemes: tuple[str, ...] = MATRIX_SCHEMES,
+                       seeds: range | list[int] = range(20), *,
+                       workers: int = 1, use_cache: bool = True,
+                       cache_dir: str | None = None) -> dict[str, Any]:
+    """Run the full matrix on the parallel engine; returns the table."""
+    from repro.exec.engine import run_experiment
+    table, _report = run_experiment(
+        "defense-matrix", {"schemes": list(schemes),
+                           "seeds": list(seeds)},
+        workers=workers, use_cache=use_cache, cache_dir=cache_dir)
+    return table
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval.defense_matrix",
+        description="Cross-paper defense matrix: conformance + attacks "
+                    "+ overhead for every scheme column.")
+    parser.add_argument("-o", "--output", metavar="FILE", default=None,
+                        help="write the table as JSON (byte-stable)")
+    parser.add_argument("--seeds", type=int, default=20, metavar="N",
+                        help="conformance corpus size (default: 20)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N")
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None)
+    args = parser.parse_args(argv)
+
+    table = run_defense_matrix(
+        seeds=range(args.seeds), workers=max(1, args.workers),
+        use_cache=not args.no_cache, cache_dir=args.cache_dir)
+    blob = json.dumps(table, indent=2, sort_keys=True) + "\n"
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(blob)
+    print(render_table(table))
+    bad = [s for s in table["schemes"]
+           if not table["conformance"][s]["ok"]]
+    if bad:
+        print(f"CONFORMANCE DIVERGENCE: {', '.join(bad)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

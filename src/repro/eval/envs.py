@@ -25,15 +25,7 @@ from repro.core.audit import harden_isv
 from repro.core.framework import Perspective
 from repro.core.views import InstructionSpeculationView
 from repro.cpu.pipeline import SpeculationPolicy
-from repro.defenses import (
-    DelayOnMissPolicy,
-    FencePolicy,
-    InvisiSpecPolicy,
-    PerspectivePolicy,
-    STTPolicy,
-    SpotMitigationPolicy,
-    UnsafePolicy,
-)
+from repro.defenses.registry import build_policy as registry_build_policy
 from repro.kernel.image import shared_image
 from repro.kernel.kernel import MiniKernel
 from repro.kernel.process import Process
@@ -46,9 +38,9 @@ PERF_SCHEMES = ("unsafe", "fence", "perspective-static", "perspective",
                 "perspective++")
 COMPARISON_SCHEMES = ("unsafe", "dom", "stt", "invisispec", "spot",
                       "spot-nokpti")
-ALL_SCHEMES = ("unsafe", "fence", "dom", "stt", "invisispec", "spot",
-               "spot-nokpti", "perspective-static", "perspective",
-               "perspective++")
+ALL_SCHEMES = ("unsafe", "fence", "dom", "stt", "invisispec", "safespec",
+               "context", "spot", "spot-nokpti", "perspective-static",
+               "perspective", "perspective++")
 
 #: Rare-path injection period during measurement runs (profiling uses 0).
 RARE_EVERY = 12
@@ -115,35 +107,24 @@ def perspective_flavor(scheme: str) -> str | None:
     return _PERSPECTIVE_FLAVORS.get(scheme)
 
 
-def build_policy(scheme: str,
-                 framework: Perspective | None = None) -> SpeculationPolicy:
+def build_policy(scheme: str, framework: Perspective | None = None,
+                 kernel: MiniKernel | None = None) -> SpeculationPolicy:
     """Construct the enforcement policy for a scheme name.
 
-    Perspective flavors require the ``framework`` the views live in;
-    every other scheme ignores it.  Shared by :func:`make_env` and the
-    multi-tenant engine (:mod:`repro.serve.engine`), so the scheme
-    vocabulary cannot drift between the two.
+    Thin forwarder to the scheme registry
+    (:func:`repro.defenses.registry.build_policy`), kept so every
+    measurement consumer -- :func:`make_env`, the multi-tenant engine
+    (:mod:`repro.serve.engine`), and the conformance oracle -- shares one
+    scheme vocabulary.  Perspective flavors require the ``framework`` the
+    views live in; kernel-coupled schemes (ConTExT's non-transient tags)
+    require the ``kernel``; every other scheme ignores both.
     """
-    if scheme in _PERSPECTIVE_FLAVORS:
-        if framework is None:
-            raise ValueError(f"scheme {scheme!r} needs a Perspective "
-                             f"framework")
-        return PerspectivePolicy(framework)
-    if scheme == "unsafe":
-        return UnsafePolicy()
-    if scheme == "fence":
-        return FencePolicy()
-    if scheme == "dom":
-        return DelayOnMissPolicy()
-    if scheme == "stt":
-        return STTPolicy()
-    if scheme == "invisispec":
-        return InvisiSpecPolicy()
-    if scheme == "spot":
-        return SpotMitigationPolicy(kpti=True, retpoline=True)
-    if scheme == "spot-nokpti":
-        return SpotMitigationPolicy(kpti=False, retpoline=True)
-    raise ValueError(f"unknown scheme {scheme!r}")
+    if scheme in _PERSPECTIVE_FLAVORS and framework is None \
+            and kernel is None:
+        raise ValueError(f"scheme {scheme!r} needs a Perspective "
+                         f"framework")
+    return registry_build_policy(scheme, framework=framework,
+                                 kernel=kernel)
 
 
 def make_env(workload_name: str, scheme: str, *,
@@ -173,7 +154,7 @@ def make_env(workload_name: str, scheme: str, *,
         policy: SpeculationPolicy = build_policy(scheme, framework)
     else:
         _profile_functions(kernel, proc, workload_name)  # history parity
-        policy = build_policy(scheme)
+        policy = build_policy(scheme, kernel=kernel)
     kernel.pipeline.set_policy(policy)
     return PerfEnv(workload_name=workload_name, scheme=scheme,
                    kernel=kernel, proc=proc, policy=policy,

@@ -76,6 +76,10 @@ def _describe(name: str, result: Any) -> list[str]:
     elif name == "slab-sensitivity":
         lines.append(f"  mean slab memory overhead: "
                      f"{result.average_memory_overhead_pct():.2f}%")
+    elif name == "defense-matrix":
+        from repro.eval.defense_matrix import render_table
+        lines.extend("  " + line
+                     for line in render_table(result).splitlines())
     return lines
 
 

@@ -480,6 +480,47 @@ def _campaign_assemble(params: dict[str, Any],
 
 
 # ---------------------------------------------------------------------------
+# Cross-paper defense matrix (conformance + attacks + overhead)
+# ---------------------------------------------------------------------------
+
+
+def _defense_defaults() -> dict[str, Any]:
+    from repro.serve.conformance import CONFORMANCE_SCHEMES
+    return {"schemes": list(CONFORMANCE_SCHEMES),
+            "seeds": list(range(20)), "steps": 14, "tenants": 2,
+            "rare_every": RARE_EVERY}
+
+
+def _defense_cells(params: dict[str, Any]) -> CellList:
+    cells: CellList = []
+    for scheme in params["schemes"]:
+        for seed in params["seeds"]:
+            cells.append((("conformance", scheme, str(seed)),
+                          {"kind": "conformance", "scheme": scheme,
+                           "seed": seed, "steps": params["steps"],
+                           "tenants": params["tenants"]}))
+    for scheme in params["schemes"]:
+        cells.append((("attacks", scheme),
+                      {"kind": "attacks", "scheme": scheme}))
+    for scheme in params["schemes"]:
+        cells.append((("perf", scheme),
+                      {"kind": "perf", "scheme": scheme,
+                       "rare_every": params["rare_every"]}))
+    return cells
+
+
+def _defense_run(key: Key, cp: dict[str, Any]) -> Any:
+    from repro.eval.defense_matrix import defense_matrix_cell
+    return defense_matrix_cell(cp)
+
+
+def _defense_assemble(params: dict[str, Any],
+                      payloads: dict[Key, Any]) -> dict[str, Any]:
+    from repro.eval.defense_matrix import assemble_matrix
+    return assemble_matrix(params, payloads)
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -610,6 +651,16 @@ _register(Grid(
     cells=_campaign_cells,
     run_cell=_campaign_run,
     assemble=_campaign_assemble,
+))
+
+_register(Grid(
+    name="defense-matrix",
+    entry_modules=("repro.eval.defense_matrix",),
+    defaults=_defense_defaults,
+    normalize=_with_unsafe,
+    cells=_defense_cells,
+    run_cell=_defense_run,
+    assemble=_defense_assemble,
 ))
 
 _register(Grid(

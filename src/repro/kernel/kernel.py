@@ -156,6 +156,10 @@ class MiniKernel:
         #: Tenant-switch IBPB ops that faulted and fell back to a full
         #: branch-unit flush (the ``serve-ibpb-drop`` fail-closed path).
         self.ibpb_fault_flushes = 0
+        #: Physical frames the OS tagged *non-transient* (ConTExT-style
+        #: secret marking).  Pure metadata: only the ``context`` defense
+        #: policy consults it, so tagging costs other schemes nothing.
+        self.non_transient_frames: set[int] = set()
 
     # ------------------------------------------------------------------
     # Boot
@@ -247,10 +251,24 @@ class MiniKernel:
         del self.processes[proc.pid]
 
     def plant_secret(self, proc: Process, secret: bytes) -> int:
-        """Store a secret in the process's heap; returns its kernel VA."""
+        """Store a secret in the process's heap; returns its kernel VA.
+
+        The frames written are tagged non-transient, so the ``context``
+        scheme (ConTExT) knows where secrets live; every other scheme
+        ignores the tags.
+        """
         pa = proc.aspace.translate(proc.heap_va + SECRET_OFF)
         self.memory.store_bytes(pa, secret)
+        self.tag_non_transient(pa, len(secret))
         return proc.heap_va + SECRET_OFF
+
+    def tag_non_transient(self, pa: int, length: int = 1) -> None:
+        """Mark the frames covering ``[pa, pa+length)`` non-transient
+        (ConTExT's OS interface for secret memory)."""
+        first = pa // PAGE_SIZE
+        last = (pa + max(length, 1) - 1) // PAGE_SIZE
+        for frame in range(first, last + 1):
+            self.non_transient_frames.add(frame)
 
     # ------------------------------------------------------------------
     # Seccomp

@@ -34,11 +34,13 @@ from repro.kernel.image import shared_image
 from repro.kernel.kernel import MiniKernel
 from repro.workloads.driver import Driver
 
-#: Schemes the oracle holds to identical architectural behaviour.  One
-#: hardware-only scheme (invisispec), the deployed-software point (spot),
-#: both fencing extremes, and both main Perspective flavors.
+#: Schemes the oracle holds to identical architectural behaviour.  Both
+#: fencing extremes, the deployed-software point (spot), the
+#: shadow-structure family (invisispec, safespec), memory tagging
+#: (context), and both main Perspective flavors -- the eight columns of
+#: the cross-paper table (:mod:`repro.eval.defense_matrix`).
 CONFORMANCE_SCHEMES = ("unsafe", "fence", "perspective", "perspective++",
-                      "spot", "invisispec")
+                       "spot", "invisispec", "safespec", "context")
 
 #: Rare-path injection period during conformance runs: exercises the
 #: paths dynamic ISVs fence, identically under every scheme.
@@ -240,7 +242,8 @@ def run_trace_under(scheme: str, trace: list[TraceStep], tenants: int = 2,
                 report = scan(kernel.image, scope=isv.functions)
                 isv = harden_isv(isv, report.functions()).hardened
             framework.install_isv(isv)
-    kernel.pipeline.set_policy(build_policy(scheme, framework))
+    kernel.pipeline.set_policy(build_policy(scheme, framework,
+                                            kernel=kernel))
 
     drivers = [Driver(kernel, p, rare_every=RARE_EVERY) for p in procs]
     outcomes = _run_trace(kernel, procs, drivers, trace)

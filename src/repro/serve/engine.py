@@ -323,7 +323,8 @@ def boot_tenants(config: ServeConfig, image=None, *,
                     report = scan(kernel.image, scope=isv.functions)
                     isv = harden_isv(isv, report.functions()).hardened
             framework.install_isv(isv)
-    kernel.pipeline.set_policy(build_policy(config.scheme, framework))
+    kernel.pipeline.set_policy(build_policy(config.scheme, framework,
+                                            kernel=kernel))
 
     tenants: list[Tenant] = []
     for index, proc, profile in procs:

@@ -160,11 +160,16 @@ TEST_NAMES = tuple(t.name for t in build_tests())
 def run_lebench(kernel: MiniKernel, proc: Process,
                 rare_every: int = 25,
                 tests: list[LEBenchTest] | None = None,
+                collect_stats: list | None = None,
                 ) -> dict[str, float]:
     """Run the suite; returns average ROI cycles per test iteration.
 
     One warmup iteration per test is excluded from the ROI, following the
     original LEBench methodology of measuring steady state.
+
+    ``collect_stats`` (optional) receives each test's post-ROI
+    :class:`~repro.workloads.driver.DriverStats`, so callers can derive
+    fence rates from the same run they took the cycles from.
     """
     results: dict[str, float] = {}
     for test in tests if tests is not None else build_tests():
@@ -177,6 +182,8 @@ def run_lebench(kernel: MiniKernel, proc: Process,
         for i in range(test.iterations):
             test.iteration(driver, state, i)
         results[test.name] = driver.stats.kernel_cycles / test.iterations
+        if collect_stats is not None:
+            collect_stats.append(driver.stats)
     return results
 
 

@@ -1,0 +1,85 @@
+"""Block-JIT guard regressions for the new registered schemes.
+
+SafeSpec and ConTExT override ``check_load``, so the pipeline's block
+cache automatically treats them as non-passive: memoized traces replay
+only when no predictions are in flight.  Two contracts follow, and both
+are regression-tested here for each scheme:
+
+* **byte-exactness** -- an ``enable_block_cache`` run is digest- AND
+  cycle-identical to the interpreted run (the parity oracle compares
+  every key, cycles included);
+* **accounted refusals** -- every replay the guard refuses lands in a
+  named ``miss_reasons`` bucket, with conservation
+  ``sum(miss_reasons.values()) == misses`` (nothing drops on the floor,
+  nothing double-counts).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.conformance import check_cache_parity
+
+NEW_SCHEMES = ("safespec", "context")
+
+
+class TestCacheParity:
+    @pytest.mark.parametrize("scheme", NEW_SCHEMES)
+    def test_block_cache_run_identical_to_interpreted(self, scheme, image):
+        result = check_cache_parity(0, schemes=("unsafe", scheme),
+                                    image=image)
+        assert result.ok, result.repro()
+        assert set(result.digests) == {"unsafe", scheme}
+
+    def test_parity_holds_for_both_new_schemes_together(self, image):
+        result = check_cache_parity(1, schemes=NEW_SCHEMES, image=image)
+        assert result.ok, result.repro()
+
+
+class TestGuardAccounting:
+    @pytest.mark.parametrize("scheme", NEW_SCHEMES)
+    def test_refusals_conserved_in_named_buckets(self, scheme):
+        from repro.cpu.blockcache import MISS_REASONS
+        from repro.serve.engine import serve_cell
+
+        cell = serve_cell({"seed": 0, "tenants": 2, "scheme": scheme,
+                           "requests_per_tenant": 4,
+                           "mean_interarrival": 8_000.0,
+                           "queue_bound": 0, "block_cache": True},
+                          observe=True)
+        counters = cell["metrics"]["counters"]
+        misses = counters["pipeline.blockcache.misses"]
+        by_reason = {r: counters.get(f"pipeline.blockcache.miss.{r}", 0)
+                     for r in MISS_REASONS}
+        assert sum(by_reason.values()) == misses > 0
+        unknown = [key for key in counters
+                   if key.startswith("pipeline.blockcache.miss.")
+                   and key.removeprefix("pipeline.blockcache.miss.")
+                   not in MISS_REASONS]
+        assert not unknown, f"misses outside the taxonomy: {unknown}"
+
+    @pytest.mark.parametrize("scheme", NEW_SCHEMES)
+    def test_attribution_keys_use_registry_metric_label(self, scheme):
+        """The per-function attribution keys embed the scheme via the
+        registry-derived metric label, so a newly registered scheme can
+        neither collide with nor silently vanish from the namespace."""
+        from repro.defenses.registry import get_scheme
+        from repro.serve.engine import serve_cell
+
+        cell = serve_cell({"seed": 0, "tenants": 2, "scheme": scheme,
+                           "requests_per_tenant": 4,
+                           "mean_interarrival": 8_000.0,
+                           "queue_bound": 0, "block_cache": True},
+                          observe=True)
+        from repro.defenses.registry import registered_schemes
+        label = get_scheme(scheme).metric_label
+        known = {get_scheme(s).metric_label for s in registered_schemes()}
+        attr = [key for key in cell["metrics"]["counters"]
+                if key.startswith("pipeline.blockcache.attr.")]
+        assert attr, "block-JIT runs must attribute their misses"
+        seen = {key.split(".")[4] for key in attr}
+        # Boot/warmup runs under the unsafe default before the scheme is
+        # installed, so its label may appear too -- but every label must
+        # come from the registry, and the scheme under test must show up.
+        assert seen <= known, seen - known
+        assert label in seen, (label, seen)
